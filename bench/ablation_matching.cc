@@ -1,0 +1,56 @@
+// Ablation: greedy ½-approximation (the paper's choice, [21]) vs exact
+// Hungarian matching in internal step 1-2. Reports quality and model time
+// of Iter-MPMD and ActiveIter-50 under both selection algorithms.
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace activeiter;
+  using namespace activeiter::bench;
+  BenchEnv env = ReadEnv();
+  PrintHeader("Ablation — greedy vs Hungarian label selection "
+              "(theta = 20, gamma = 60%)",
+              env);
+  AlignedPair pair = MakePair(env);
+  ThreadPool pool(env.threads);
+
+  std::vector<MethodSpec> methods;
+  for (SelectionAlgorithm sel :
+       {SelectionAlgorithm::kGreedy, SelectionAlgorithm::kHungarian}) {
+    const char* tag =
+        sel == SelectionAlgorithm::kGreedy ? "greedy" : "hungarian";
+    MethodSpec iter = IterMpmdSpec();
+    iter.name = std::string("Iter-MPMD/") + tag;
+    iter.selection = sel;
+    methods.push_back(iter);
+    MethodSpec active = ActiveIterSpec(50);
+    active.name = std::string("ActiveIter-50/") + tag;
+    active.selection = sel;
+    methods.push_back(active);
+  }
+
+  auto result = RunNpRatioSweep(pair, {20.0}, 0.6, methods,
+                                MakeSweepOptions(env, &pool));
+  if (!result.ok()) {
+    std::cerr << "ablation failed: " << result.status() << "\n";
+    return 1;
+  }
+  const SweepResult& r = result.value();
+  TextTable table;
+  table.SetHeader({"method", "F1", "Precision", "Recall", "model sec"});
+  for (size_t m = 0; m < r.method_names.size(); ++m) {
+    const MetricAggregate& agg = r.aggregates[m][0];
+    table.AddRow({r.method_names[m],
+                  FormatMeanStd(agg.f1.Mean(), agg.f1.Std(), 3),
+                  FormatMeanStd(agg.precision.Mean(), agg.precision.Std(), 3),
+                  FormatMeanStd(agg.recall.Mean(), agg.recall.Std(), 3),
+                  FormatDouble(r.mean_seconds[m][0], 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "# expected: exact matching buys little or no quality over\n"
+            << "#   greedy (the score matrix is near-assortative), while\n"
+            << "#   costing substantially more time — justifying the\n"
+            << "#   paper's 1/2-approximation choice.\n";
+  return 0;
+}

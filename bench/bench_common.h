@@ -1,0 +1,112 @@
+// Shared setup of the table/figure benchmark binaries.
+//
+// Every bench accepts environment overrides so the full-fidelity paper
+// protocol can be reproduced when time allows:
+//   ACTIVEITER_FOLDS      folds to run per configuration (default 3; the
+//                         paper runs all 10)
+//   ACTIVEITER_NUM_FOLDS  total folds in the split (default 10, as paper)
+//   ACTIVEITER_SEED       master seed (default 42)
+//   ACTIVEITER_SCALE      tiny | bench (default) | large — generator size
+//   ACTIVEITER_THREADS    feature-extraction threads (default 4)
+
+#ifndef ACTIVEITER_BENCH_BENCH_COMMON_H_
+#define ACTIVEITER_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/eval/report.h"
+#include "src/eval/runners.h"
+
+namespace activeiter {
+namespace bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline std::string EnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? fallback : value;
+}
+
+struct BenchEnv {
+  size_t folds_to_run = 3;
+  size_t num_folds = 10;
+  uint64_t seed = 42;
+  size_t threads = 4;
+  std::string scale = "bench";
+};
+
+inline BenchEnv ReadEnv() {
+  BenchEnv env;
+  env.folds_to_run = EnvSize("ACTIVEITER_FOLDS", env.folds_to_run);
+  env.num_folds = EnvSize("ACTIVEITER_NUM_FOLDS", env.num_folds);
+  env.seed = EnvSize("ACTIVEITER_SEED", 42);
+  env.threads = EnvSize("ACTIVEITER_THREADS", env.threads);
+  env.scale = EnvString("ACTIVEITER_SCALE", env.scale);
+  return env;
+}
+
+inline GeneratorConfig ConfigForScale(const BenchEnv& env) {
+  if (env.scale == "tiny") {
+    GeneratorConfig cfg = TinyPreset(env.seed);
+    cfg.shared_users = 120;
+    return cfg;
+  }
+  if (env.scale == "large") {
+    GeneratorConfig cfg = FoursquareTwitterPreset(env.seed);
+    cfg.shared_users = 800;
+    cfg.first.extra_users = 160;
+    cfg.second.extra_users = 280;
+    return cfg;
+  }
+  return FoursquareTwitterPreset(env.seed);
+}
+
+/// Generates the aligned pair and reports how long it took.
+inline AlignedPair MakePair(const BenchEnv& env) {
+  Stopwatch watch;
+  auto pair = AlignedNetworkGenerator(ConfigForScale(env)).Generate();
+  if (!pair.ok()) {
+    std::cerr << "generator failed: " << pair.status() << "\n";
+    std::exit(1);
+  }
+  std::cout << "# generated aligned pair (" << env.scale << " scale) in "
+            << watch.ElapsedMillis() << " ms\n"
+            << "#   " << pair.value().first().ToString() << "\n"
+            << "#   " << pair.value().second().ToString() << "\n"
+            << "#   anchors: " << pair.value().anchor_count() << "\n";
+  return std::move(pair).ValueOrDie();
+}
+
+inline SweepOptions MakeSweepOptions(const BenchEnv& env, ThreadPool* pool) {
+  SweepOptions options;
+  options.num_folds = env.num_folds;
+  options.folds_to_run = env.folds_to_run;
+  options.seed = env.seed;
+  options.pool = pool;
+  return options;
+}
+
+inline void PrintHeader(const char* title, const BenchEnv& env) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "folds " << env.folds_to_run << "/" << env.num_folds
+            << ", seed " << env.seed << ", scale " << env.scale << "\n"
+            << "==========================================================\n";
+}
+
+}  // namespace bench
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_BENCH_BENCH_COMMON_H_

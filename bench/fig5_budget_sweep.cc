@@ -1,0 +1,34 @@
+// Figure 5 reproduction: metrics of ActiveIter and ActiveIter-Rand as the
+// query budget b sweeps {10, 25, 50, 75, 100} at theta = 50, gamma = 60%,
+// with Iter-MPMD reference lines at gamma = 60% and 70%.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace activeiter;
+  using namespace activeiter::bench;
+  BenchEnv env = ReadEnv();
+  PrintHeader(
+      "Figure 5 — budget analysis (theta = 50, gamma = 60%, "
+      "b in {10, 25, 50, 75, 100})",
+      env);
+  AlignedPair pair = MakePair(env);
+  ThreadPool pool(env.threads);
+
+  Stopwatch watch;
+  auto result = RunBudgetSweep(pair, /*np_ratio=*/50.0, /*sample_ratio=*/0.6,
+                               {10, 25, 50, 75, 100},
+                               MakeSweepOptions(env, &pool));
+  if (!result.ok()) {
+    std::cerr << "sweep failed: " << result.status() << "\n";
+    return 1;
+  }
+  PrintBudgetSweep(std::cout, result.value(), 0.6);
+  std::cout << "# total sweep time: " << watch.ElapsedSeconds() << " s\n";
+  std::cout
+      << "# expected shape (paper): ActiveIter improves monotonically with\n"
+      << "#   budget and crosses the 60%- and (near b ~ 50+) the 70%-\n"
+      << "#   Iter-MPMD reference lines; ActiveIter-Rand stays flat near\n"
+      << "#   the 60% line — random labels do not help.\n";
+  return 0;
+}

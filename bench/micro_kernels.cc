@@ -1,0 +1,148 @@
+// Micro-benchmarks of the kernels the experiments are built from:
+// SpGEMM / Hadamard (meta-diagram counting), ridge solve (step 1-1),
+// greedy and Hungarian selection (step 1-2), and full feature extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "src/align/greedy_selection.h"
+#include "src/align/hungarian.h"
+#include "src/common/rng.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/learn/ridge.h"
+#include "src/linalg/sparse_ops.h"
+#include "src/metadiagram/features.h"
+
+namespace activeiter {
+namespace {
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  size_t expected = static_cast<size_t>(density * rows * cols);
+  trips.reserve(expected);
+  for (size_t k = 0; k < expected; ++k) {
+    trips.push_back({static_cast<uint32_t>(rng.UniformInt(rows)),
+                     static_cast<uint32_t>(rng.UniformInt(cols)),
+                     rng.UniformDouble() + 0.1});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(trips));
+}
+
+void BM_SpGemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(n, n, 16.0 / n, 1);
+  SparseMatrix b = RandomSparse(n, n, 16.0 / n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpGemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpGemm)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Hadamard(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(n, n, 32.0 / n, 3);
+  SparseMatrix b = RandomSparse(n, n, 32.0 / n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hadamard(a, b));
+  }
+}
+BENCHMARK(BM_Hadamard)->Arg(1024)->Arg(4096);
+
+void BM_RidgeSolve(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t d = 30;
+  Rng rng(5);
+  Matrix x(rows, d);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < d; ++j) x(i, j) = rng.UniformDouble();
+  }
+  auto solver = RidgeSolver::Create(x, 1.0);
+  Vector y(rows);
+  for (size_t i = 0; i < rows; ++i) y(i) = rng.Bernoulli(0.02) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.value().Solve(y));
+  }
+}
+BENCHMARK(BM_RidgeSolve)->Arg(2000)->Arg(20000);
+
+struct SelectionFixture {
+  AlignedPair pair;
+  CandidateLinkSet candidates;
+  std::unique_ptr<IncidenceIndex> index;
+  Vector scores;
+  std::vector<Pin> pins;
+
+  explicit SelectionFixture(size_t users, size_t links) : pair(Nets(users)) {
+    Rng rng(6);
+    for (size_t k = 0; k < links; ++k) {
+      candidates.Add(static_cast<NodeId>(rng.UniformInt(users)),
+                     static_cast<NodeId>(rng.UniformInt(users)));
+    }
+    index = std::make_unique<IncidenceIndex>(pair, candidates);
+    scores = Vector(candidates.size());
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      scores(k) = rng.UniformDouble() - 0.4;
+    }
+    pins.assign(candidates.size(), Pin::kFree);
+  }
+  static AlignedPair Nets(size_t users) {
+    HeteroNetwork a(NetworkSchema::SocialNetwork(), "a");
+    a.AddNodes(NodeType::kUser, users);
+    HeteroNetwork b(NetworkSchema::SocialNetwork(), "b");
+    b.AddNodes(NodeType::kUser, users);
+    return AlignedPair(std::move(a), std::move(b));
+  }
+};
+
+void BM_GreedySelect(benchmark::State& state) {
+  SelectionFixture f(500, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedySelect(f.scores, *f.index, f.pins, 0.0));
+  }
+}
+BENCHMARK(BM_GreedySelect)->Arg(2000)->Arg(20000);
+
+void BM_HungarianSelect(benchmark::State& state) {
+  SelectionFixture f(200, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HungarianSelect(f.scores, *f.index, f.pins, 0.0));
+  }
+}
+BENCHMARK(BM_HungarianSelect)->Arg(2000)->Arg(8000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  GeneratorConfig cfg = TinyPreset(9);
+  cfg.shared_users = static_cast<size_t>(state.range(0));
+  auto pair = AlignedNetworkGenerator(cfg).Generate();
+  if (!pair.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  std::vector<AnchorLink> train(
+      pair.value().anchors().begin(),
+      pair.value().anchors().begin() +
+          static_cast<ptrdiff_t>(cfg.shared_users / 10));
+  CandidateLinkSet candidates;
+  Rng rng(10);
+  for (size_t k = 0; k < 2000; ++k) {
+    candidates.Add(
+        static_cast<NodeId>(rng.UniformInt(cfg.shared_users)),
+        static_cast<NodeId>(rng.UniformInt(cfg.shared_users)));
+  }
+  for (auto _ : state) {
+    FeatureExtractor extractor(pair.value(), train);
+    benchmark::DoNotOptimize(extractor.Extract(candidates));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(60)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace activeiter
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table IV reproduction: metrics of all six methods as the sample-ratio γ
+// sweeps 10%..100% at NP-ratio 50.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace activeiter;
+  using namespace activeiter::bench;
+  BenchEnv env = ReadEnv();
+  PrintHeader(
+      "Table IV — performance vs sample-ratio (gamma in 10%..100%, "
+      "theta = 50)",
+      env);
+  AlignedPair pair = MakePair(env);
+  ThreadPool pool(env.threads);
+
+  std::vector<double> gammas = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                0.6, 0.7, 0.8, 0.9, 1.0};
+  Stopwatch watch;
+  auto result = RunSampleRatioSweep(pair, /*np_ratio=*/50.0, gammas,
+                                    PaperMethodSuite(),
+                                    MakeSweepOptions(env, &pool));
+  if (!result.ok()) {
+    std::cerr << "sweep failed: " << result.status() << "\n";
+    return 1;
+  }
+  PrintSweepTables(std::cout, result.value());
+  WriteSweepCsv(std::cout, result.value());
+  std::cout << "# total sweep time: " << watch.ElapsedSeconds() << " s\n";
+  std::cout
+      << "# expected shape (paper): every method improves monotonically\n"
+      << "#   with gamma; ActiveIter-100 at gamma matches or beats\n"
+      << "#   Iter-MPMD at gamma+10% (ActiveIter buys with ~100 queries\n"
+      << "#   what Iter-MPMD needs ~1,670 extra labels for); SVM-MP stays\n"
+      << "#   at F1 ~ 0 throughout at theta = 50.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Scenario: aligning a Twitter-like and a Foursquare-like network under a
+// tight labeling budget — the paper's motivating use case. Walks through
+// the ActiveIter loop round by round, showing which links the conflict
+// strategy queries and how the inferred alignment improves, then compares
+// budgets side by side.
+//
+//   ./build/examples/active_alignment [seed]
+
+#include <iostream>
+
+#include "src/align/active_iter.h"
+#include "src/common/string_util.h"
+#include "src/common/table.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/eval/experiment.h"
+#include "src/metadiagram/features.h"
+
+using namespace activeiter;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  GeneratorConfig config = FoursquareTwitterPreset(seed);
+  config.shared_users = 200;
+  config.first.extra_users = 40;
+  config.second.extra_users = 70;
+  auto pair_or = AlignedNetworkGenerator(config).Generate();
+  if (!pair_or.ok()) {
+    std::cerr << "generation failed: " << pair_or.status() << "\n";
+    return 1;
+  }
+  AlignedPair pair = std::move(pair_or).ValueOrDie();
+  std::cout << "Scenario: align " << pair.first().name() << " with "
+            << pair.second().name() << " (" << pair.anchor_count()
+            << " true anchors; we may label only a handful).\n\n";
+
+  ProtocolConfig pcfg;
+  pcfg.np_ratio = 20.0;
+  pcfg.sample_ratio = 0.5;
+  pcfg.num_folds = 10;
+  pcfg.seed = seed;
+  auto protocol = Protocol::Create(pair, pcfg);
+  if (!protocol.ok()) {
+    std::cerr << "protocol failed: " << protocol.status() << "\n";
+    return 1;
+  }
+  FoldData fold = protocol.value().MakeFold(0);
+  std::cout << "Known anchors (L+): " << fold.train_pos.size()
+            << "; unlabeled candidate links: "
+            << fold.size() - fold.train_pos.size() << "\n\n";
+
+  // Inspect one ActiveIter run in detail.
+  FeatureExtractor extractor(pair, fold.train_anchors);
+  Matrix x = extractor.Extract(fold.candidates);
+  IncidenceIndex index(pair, fold.candidates);
+  AlignmentProblem problem;
+  problem.x = &x;
+  problem.index = &index;
+  problem.pinned.assign(fold.size(), Pin::kFree);
+  for (size_t id : fold.train_pos) problem.pinned[id] = Pin::kPositive;
+
+  ActiveIterOptions options;
+  options.budget = 30;
+  options.batch_size = 5;
+  options.seed = seed;
+  ActiveIterModel model(options);
+  Oracle oracle(pair, options.budget);
+  auto result = model.Run(problem, &oracle);
+  if (!result.ok()) {
+    std::cerr << "ActiveIter failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "ActiveIter ran " << result.value().rounds
+            << " external rounds; the conflict strategy queried:\n";
+  TextTable queries;
+  queries.SetHeader({"#", "link (u1, u2)", "oracle said"});
+  size_t qi = 0;
+  for (const auto& q : result.value().queries) {
+    const auto& [u1, u2] = fold.candidates.link(q.link_id);
+    queries.AddRow({std::to_string(++qi),
+                    "(" + std::to_string(u1) + ", " + std::to_string(u2) +
+                        ")",
+                    q.label > 0.5 ? "anchor (+1)" : "not an anchor (0)"});
+  }
+  queries.Print(std::cout);
+  size_t corrected = 0;
+  for (const auto& q : result.value().queries) {
+    if (q.label > 0.5) ++corrected;
+  }
+  std::cout << corrected << " of " << result.value().queries.size()
+            << " queried links were mis-classified false negatives the "
+               "strategy set out to find.\n\n";
+
+  // Budget comparison table.
+  std::cout << "Budget comparison on the same fold:\n";
+  FoldRunner runner(pair, fold, seed);
+  TextTable table;
+  table.SetHeader({"model", "F1", "Precision", "Recall", "queries"});
+  auto add_row = [&](const MethodSpec& spec) {
+    auto outcome = runner.Run(spec);
+    if (!outcome.ok()) {
+      std::cerr << spec.name << " failed: " << outcome.status() << "\n";
+      return;
+    }
+    const BinaryMetrics& m = outcome.value().metrics;
+    table.AddRow({spec.name, FormatDouble(m.F1(), 3),
+                  FormatDouble(m.Precision(), 3),
+                  FormatDouble(m.Recall(), 3),
+                  std::to_string(outcome.value().queries_used)});
+  };
+  add_row(IterMpmdSpec());
+  add_row(ActiveIterSpec(10));
+  add_row(ActiveIterSpec(30));
+  add_row(ActiveIterSpec(30, QueryStrategyKind::kRandom));
+  table.Print(std::cout);
+  return 0;
+}

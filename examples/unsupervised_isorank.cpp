@@ -1,0 +1,92 @@
+// Scenario: no labels at all. Compares the unsupervised IsoRank extension
+// against label-based regimes on the same pair, quantifying what the first
+// few labeled anchors buy — the trade-off the paper's introduction
+// motivates (anchor labels are expensive).
+//
+//   ./build/examples/unsupervised_isorank [seed]
+
+#include <iostream>
+
+#include "src/align/isorank.h"
+#include "src/common/string_util.h"
+#include "src/common/table.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/eval/experiment.h"
+
+using namespace activeiter;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  GeneratorConfig config = TinyPreset(seed);
+  config.shared_users = 150;
+  auto pair_or = AlignedNetworkGenerator(config).Generate();
+  if (!pair_or.ok()) {
+    std::cerr << "generation failed: " << pair_or.status() << "\n";
+    return 1;
+  }
+  AlignedPair pair = std::move(pair_or).ValueOrDie();
+
+  // 1. Unsupervised: IsoRank on follow structure alone.
+  IsoRankAligner isorank;
+  auto iso = isorank.Align(pair);
+  if (!iso.ok()) {
+    std::cerr << "IsoRank failed: " << iso.status() << "\n";
+    return 1;
+  }
+  size_t hits = 0;
+  for (const auto& a : iso.value().predicted) {
+    if (pair.IsAnchor(a.u1, a.u2)) ++hits;
+  }
+  std::cout << "IsoRank (unsupervised, structure only): matched "
+            << iso.value().predicted.size() << " pairs, " << hits
+            << " correct (" << iso.value().iterations
+            << " propagation iterations).\n";
+  double n1 = static_cast<double>(pair.first().NodeCount(NodeType::kUser));
+  std::cout << "Random matching would get ~"
+            << FormatDouble(iso.value().predicted.size() / n1, 1)
+            << " correct in expectation.\n\n";
+
+  // 2. Label-based regimes on the same data.
+  ProtocolConfig pcfg;
+  pcfg.np_ratio = 10.0;
+  pcfg.sample_ratio = 0.6;
+  pcfg.num_folds = 10;
+  pcfg.seed = seed;
+  auto protocol = Protocol::Create(pair, pcfg);
+  if (!protocol.ok()) {
+    std::cerr << "protocol failed: " << protocol.status() << "\n";
+    return 1;
+  }
+  FoldRunner runner(pair, protocol.value().MakeFold(0), seed);
+
+  std::cout << "Label-based regimes (same pair, NP-ratio 10, gamma 60%):\n";
+  TextTable table;
+  table.SetHeader({"regime", "labels used", "F1", "Precision", "Recall"});
+  auto add = [&](const char* regime, const std::string& labels,
+                 const MethodSpec& spec) {
+    auto outcome = runner.Run(spec);
+    if (!outcome.ok()) {
+      std::cerr << spec.name << " failed: " << outcome.status() << "\n";
+      return;
+    }
+    const BinaryMetrics& m = outcome.value().metrics;
+    table.AddRow({regime, labels, FormatDouble(m.F1(), 3),
+                  FormatDouble(m.Precision(), 3),
+                  FormatDouble(m.Recall(), 3)});
+  };
+  size_t l_plus = runner.fold().train_pos.size();
+  add("supervised SVM (MP+MD)",
+      std::to_string(l_plus + runner.fold().train_neg.size()),
+      SvmSpec(FeatureSet::kMetaPathAndDiagram));
+  add("PU iterative (Iter-MPMD)", std::to_string(l_plus), IterMpmdSpec());
+  add("active PU (ActiveIter-25)",
+      std::to_string(l_plus) + " + 25 queries", ActiveIterSpec(25));
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: structure-only alignment is weak at this noise\n"
+               "level; a small labeled seed plus meta-diagram features and\n"
+               "the one-to-one constraint recovers most anchors, and a\n"
+               "25-query active budget closes most of the remaining gap.\n";
+  return 0;
+}

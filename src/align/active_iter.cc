@@ -1,0 +1,85 @@
+#include "src/align/active_iter.h"
+
+namespace activeiter {
+
+std::vector<size_t> ActiveIterResult::QueriedLinkIds() const {
+  std::vector<size_t> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(q.link_id);
+  return out;
+}
+
+ActiveIterModel::ActiveIterModel(ActiveIterOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<QueryStrategy> ActiveIterModel::MakeStrategy() const {
+  switch (options_.strategy) {
+    case QueryStrategyKind::kConflict:
+      return std::make_unique<ConflictQueryStrategy>(
+          options_.closeness_threshold, options_.dominance_margin,
+          options_.fill_with_near_misses);
+    case QueryStrategyKind::kRandom:
+      return std::make_unique<RandomQueryStrategy>();
+    case QueryStrategyKind::kUncertainty:
+      return std::make_unique<UncertaintyQueryStrategy>(
+          options_.base.threshold);
+  }
+  return std::make_unique<ConflictQueryStrategy>();
+}
+
+Result<ActiveIterResult> ActiveIterModel::Run(const AlignmentProblem& problem,
+                                              Oracle* oracle) const {
+  ACTIVEITER_RETURN_IF_ERROR(problem.Validate());
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("ActiveIter requires an oracle");
+  }
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+
+  IterAligner aligner(options_.base);
+  std::unique_ptr<QueryStrategy> strategy = MakeStrategy();
+  Rng rng(options_.seed);
+
+  // Working copy of the pin state; query answers are pinned as we go.
+  AlignmentProblem work = problem;
+  ActiveIterResult result;
+
+  size_t budget = std::min(options_.budget, oracle->remaining_budget());
+  for (;;) {
+    // External step (1): internal alternation to convergence.
+    auto aligned_or = aligner.Align(work);
+    if (!aligned_or.ok()) return aligned_or.status();
+    AlignmentResult aligned = std::move(aligned_or).value();
+    result.round_traces.push_back(aligned.trace);
+    ++result.rounds;
+
+    result.y = std::move(aligned.y);
+    result.scores = std::move(aligned.scores);
+    result.w = std::move(aligned.w);
+
+    size_t remaining = budget - result.queries.size();
+    if (remaining == 0) break;
+
+    // External step (2): choose and ask the next batch.
+    QueryContext ctx;
+    ctx.scores = &result.scores;
+    ctx.y = &result.y;
+    ctx.index = work.index;
+    ctx.pinned = &work.pinned;
+    std::vector<size_t> batch = strategy->SelectQueries(
+        ctx, std::min(options_.batch_size, remaining), &rng);
+    if (batch.empty()) break;  // no informative candidates left
+
+    for (size_t link_id : batch) {
+      ACTIVEITER_CHECK(work.pinned[link_id] == Pin::kFree);
+      double label =
+          oracle->QueryLink(work.index->candidates(), link_id);
+      work.pinned[link_id] = label > 0.5 ? Pin::kPositive : Pin::kNegative;
+      result.queries.push_back({link_id, label});
+    }
+  }
+  return result;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,89 @@
+// ActiveIter: the paper's full active network-alignment model (§III).
+//
+// External loop (hierarchical alternating updates):
+//   step (1): run the internal alternation (IterAligner) to convergence,
+//   step (2): pick the next query batch with the query strategy, ask the
+//             oracle, pin the answers,
+// until the query budget b is exhausted (b/k rounds of batch size k), then
+// run one final internal alternation.
+
+#ifndef ACTIVEITER_ALIGN_ACTIVE_ITER_H_
+#define ACTIVEITER_ALIGN_ACTIVE_ITER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/align/iter_aligner.h"
+#include "src/align/oracle.h"
+#include "src/align/query_strategy.h"
+#include "src/common/rng.h"
+
+namespace activeiter {
+
+/// Which query strategy ActiveIter uses.
+enum class QueryStrategyKind {
+  kConflict,     // the paper's strategy (ActiveIter)
+  kRandom,       // ActiveIter-Rand baseline
+  kUncertainty,  // extension (ablation)
+};
+
+/// ActiveIter options.
+struct ActiveIterOptions {
+  IterAlignerOptions base;
+  /// Query budget b (total labels the oracle will answer).
+  size_t budget = 50;
+  /// Query batch size k per round (paper: 5).
+  size_t batch_size = 5;
+  /// Conflict-strategy closeness threshold (paper: 0.05).
+  double closeness_threshold = 0.05;
+  /// Conflict-strategy dominance margin for "ŷ_l ≫ ŷ_l''".
+  double dominance_margin = 0.05;
+  /// Top up short conflict batches with near-miss losers (see
+  /// ConflictQueryStrategy).
+  bool fill_with_near_misses = true;
+  QueryStrategyKind strategy = QueryStrategyKind::kConflict;
+  /// Seed for randomised strategies.
+  uint64_t seed = 17;
+};
+
+/// One answered query.
+struct QueryRecord {
+  size_t link_id = 0;
+  double label = 0.0;
+};
+
+/// Full ActiveIter output.
+struct ActiveIterResult {
+  Vector y;       // final labels over H
+  Vector scores;  // final ŷ
+  Vector w;       // final model
+  std::vector<QueryRecord> queries;          // in query order
+  std::vector<IterationTrace> round_traces;  // one per external round
+  size_t rounds = 0;
+
+  /// Link ids that were queried (for exclusion from evaluation).
+  std::vector<size_t> QueriedLinkIds() const;
+};
+
+/// The ActiveIter model.
+class ActiveIterModel {
+ public:
+  explicit ActiveIterModel(ActiveIterOptions options = {});
+
+  /// Runs the external loop. `problem.pinned` supplies the initial labeled
+  /// set L+ (and any pre-queried labels); `oracle` answers queries and is
+  /// consulted at most options.budget times.
+  Result<ActiveIterResult> Run(const AlignmentProblem& problem,
+                               Oracle* oracle) const;
+
+  const ActiveIterOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<QueryStrategy> MakeStrategy() const;
+
+  ActiveIterOptions options_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_ALIGN_ACTIVE_ITER_H_

@@ -1,0 +1,161 @@
+#include "src/align/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace activeiter {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Classic O(n²m) Hungarian with potentials on a min-cost matrix
+/// (rows <= cols required). Returns, for each row, the assigned column.
+std::vector<int64_t> MinCostAssignment(const Matrix& cost) {
+  const size_t n = cost.rows();
+  const size_t m = cost.cols();
+  ACTIVEITER_CHECK_MSG(n <= m, "Hungarian requires rows <= cols");
+
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int64_t> match_of_row(n, -1);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) match_of_row[p[j] - 1] = static_cast<int64_t>(j - 1);
+  }
+  return match_of_row;
+}
+
+}  // namespace
+
+std::vector<int64_t> MaxWeightAssignment(const Matrix& weights) {
+  const size_t n = weights.rows();
+  const size_t m = weights.cols();
+  if (n == 0 || m == 0) return std::vector<int64_t>(n, -1);
+
+  double max_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) max_w = std::max(max_w, weights(i, j));
+  }
+  // Min-cost matrix with n dummy "stay unmatched" columns of weight 0.
+  Matrix cost(n, m + n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      cost(i, j) = max_w - std::max(weights(i, j), 0.0);
+    }
+    for (size_t j = m; j < m + n; ++j) cost(i, j) = max_w;
+  }
+  std::vector<int64_t> raw = MinCostAssignment(cost);
+  for (size_t i = 0; i < n; ++i) {
+    if (raw[i] >= static_cast<int64_t>(m) ||
+        (raw[i] >= 0 && weights(i, static_cast<size_t>(raw[i])) <= 0.0)) {
+      raw[i] = -1;  // dummy column or non-positive weight: unmatched
+    }
+  }
+  return raw;
+}
+
+Vector HungarianSelect(const Vector& scores, const IncidenceIndex& index,
+                       const std::vector<Pin>& pinned, double threshold) {
+  const size_t n = scores.size();
+  ACTIVEITER_CHECK(pinned.size() == n && index.candidate_count() == n);
+  const CandidateLinkSet& candidates = index.candidates();
+
+  Vector y(n);
+  std::vector<bool> saturated_first(index.users_first(), false);
+  std::vector<bool> saturated_second(index.users_second(), false);
+  for (size_t id = 0; id < n; ++id) {
+    if (pinned[id] == Pin::kPositive) {
+      y(id) = 1.0;
+      const auto& [u1, u2] = candidates.link(id);
+      saturated_first[u1] = true;
+      saturated_second[u2] = true;
+    }
+  }
+
+  // Collect eligible links and compact the touched user ids.
+  std::unordered_map<NodeId, size_t> row_of, col_of;
+  std::vector<NodeId> rows, cols;
+  std::vector<size_t> eligible;
+  for (size_t id = 0; id < n; ++id) {
+    if (pinned[id] != Pin::kFree || scores(id) <= threshold) continue;
+    const auto& [u1, u2] = candidates.link(id);
+    if (saturated_first[u1] || saturated_second[u2]) continue;
+    eligible.push_back(id);
+    if (!row_of.count(u1)) {
+      row_of[u1] = rows.size();
+      rows.push_back(u1);
+    }
+    if (!col_of.count(u2)) {
+      col_of[u2] = cols.size();
+      cols.push_back(u2);
+    }
+  }
+  if (eligible.empty()) return y;
+
+  // The Hungarian kernel requires rows <= cols; transpose if needed.
+  bool transposed = rows.size() > cols.size();
+  size_t nr = transposed ? cols.size() : rows.size();
+  size_t nc = transposed ? rows.size() : cols.size();
+  Matrix weights(nr, nc);
+  // Keep the best-scoring link id per user pair.
+  std::unordered_map<uint64_t, size_t> link_of_cell;
+  for (size_t id : eligible) {
+    const auto& [u1, u2] = candidates.link(id);
+    size_t r = transposed ? col_of[u2] : row_of[u1];
+    size_t c = transposed ? row_of[u1] : col_of[u2];
+    if (scores(id) > weights(r, c)) {
+      weights(r, c) = scores(id);
+      link_of_cell[(static_cast<uint64_t>(r) << 32) | c] = id;
+    }
+  }
+
+  std::vector<int64_t> match = MaxWeightAssignment(weights);
+  for (size_t r = 0; r < match.size(); ++r) {
+    if (match[r] < 0) continue;
+    auto it = link_of_cell.find((static_cast<uint64_t>(r) << 32) |
+                                static_cast<uint64_t>(match[r]));
+    ACTIVEITER_CHECK(it != link_of_cell.end());
+    y(it->second) = 1.0;
+  }
+  return y;
+}
+
+}  // namespace activeiter

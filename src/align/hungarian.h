@@ -1,0 +1,36 @@
+// Hungarian algorithm (Kuhn–Munkres) for exact maximum-weight one-to-one
+// matching.
+//
+// The paper uses the greedy ½-approximation of [21] for internal step 1-2;
+// this exact solver exists to quantify the greedy gap in the matching
+// ablation bench (`bench/ablation_matching`). O(n³) with potentials,
+// rectangular matrices handled by padding.
+
+#ifndef ACTIVEITER_ALIGN_HUNGARIAN_H_
+#define ACTIVEITER_ALIGN_HUNGARIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/greedy_selection.h"
+#include "src/graph/incidence.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// Exact maximum-weight assignment on a dense weight matrix. Entries with
+/// weight <= 0 are never matched. Returns match_of_row: for each row the
+/// assigned column or -1.
+std::vector<int64_t> MaxWeightAssignment(const Matrix& weights);
+
+/// Drop-in alternative to GreedySelect: builds the dense score matrix over
+/// the users touched by the candidate set and selects the exact
+/// maximum-weight one-to-one label vector (scores below `threshold` are
+/// excluded; pinned positives are forced, pinned negatives excluded).
+Vector HungarianSelect(const Vector& scores, const IncidenceIndex& index,
+                       const std::vector<Pin>& pinned, double threshold);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_ALIGN_HUNGARIAN_H_

@@ -1,0 +1,67 @@
+#include "src/align/iter_aligner.h"
+
+#include "src/align/hungarian.h"
+
+namespace activeiter {
+
+Status AlignmentProblem::Validate() const {
+  if (x == nullptr || index == nullptr) {
+    return Status::InvalidArgument("AlignmentProblem pointers must be set");
+  }
+  if (pinned.size() != x->rows()) {
+    return Status::InvalidArgument("pin vector size must match feature rows");
+  }
+  if (index->candidate_count() != x->rows()) {
+    return Status::InvalidArgument(
+        "incidence index size must match feature rows");
+  }
+  return Status::OK();
+}
+
+Result<AlignmentResult> IterAligner::Align(
+    const AlignmentProblem& problem) const {
+  ACTIVEITER_RETURN_IF_ERROR(problem.Validate());
+  if (options_.c <= 0.0) {
+    return Status::InvalidArgument("IterAlignerOptions.c must be > 0");
+  }
+
+  const size_t n = problem.x->rows();
+  auto solver_or = RidgeSolver::Create(*problem.x, options_.c);
+  if (!solver_or.ok()) return solver_or.status();
+  const RidgeSolver& solver = solver_or.value();
+
+  // Initial labels: pinned values, free links 0.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y(i) = problem.pinned[i] == Pin::kPositive ? 1.0 : 0.0;
+  }
+
+  AlignmentResult result;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // (1-1) fit w against the current labels.
+    Vector w = solver.Solve(y);
+    // (1-2) infer labels under the cardinality constraint.
+    Vector scores = solver.Predict(w);
+    Vector y_next =
+        options_.selection == SelectionAlgorithm::kGreedy
+            ? GreedySelect(scores, *problem.index, problem.pinned,
+                           options_.threshold)
+            : HungarianSelect(scores, *problem.index, problem.pinned,
+                              options_.threshold);
+    // Queried negatives stay 0 and pinned positives stay 1 by construction
+    // of GreedySelect; measure label movement.
+    double delta = (y_next - y).Norm1();
+    result.trace.delta_y.push_back(delta);
+    y = std::move(y_next);
+    result.w = std::move(w);
+    result.scores = std::move(scores);
+    if (delta == 0.0) {
+      result.trace.converged = true;
+      break;
+    }
+  }
+  result.y = std::move(y);
+  return result;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,96 @@
+#include "src/align/multi_align.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace activeiter {
+namespace {
+
+uint64_t Key(const AnchorLink& a) {
+  return (static_cast<uint64_t>(a.u1) << 32) | a.u2;
+}
+
+}  // namespace
+
+std::vector<AnchorLink> ComposeAlignments(
+    const std::vector<AnchorLink>& a12, const std::vector<AnchorLink>& a23) {
+  // Index a23 by its first endpoint (the shared middle network's user).
+  std::unordered_map<NodeId, std::vector<NodeId>> targets_of_middle;
+  for (const auto& link : a23) {
+    targets_of_middle[link.u1].push_back(link.u2);
+  }
+  std::vector<AnchorLink> composed;
+  for (const auto& link : a12) {
+    auto it = targets_of_middle.find(link.u2);
+    if (it == targets_of_middle.end()) continue;
+    for (NodeId u3 : it->second) {
+      composed.push_back({link.u1, u3});
+    }
+  }
+  std::sort(composed.begin(), composed.end());
+  composed.erase(std::unique(composed.begin(), composed.end()),
+                 composed.end());
+  return composed;
+}
+
+double TransitiveConsistency(const std::vector<AnchorLink>& composed,
+                             const std::vector<AnchorLink>& direct) {
+  if (composed.empty()) return 1.0;
+  std::unordered_set<uint64_t> direct_keys;
+  direct_keys.reserve(direct.size() * 2);
+  for (const auto& link : direct) direct_keys.insert(Key(link));
+  size_t hits = 0;
+  for (const auto& link : composed) {
+    if (direct_keys.count(Key(link))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(composed.size());
+}
+
+ReconciledAlignment ReconcileAlignments(
+    const std::vector<AnchorLink>& direct,
+    const std::vector<AnchorLink>& composed) {
+  std::unordered_set<uint64_t> composed_keys;
+  composed_keys.reserve(composed.size() * 2);
+  for (const auto& link : composed) composed_keys.insert(Key(link));
+
+  ReconciledAlignment out;
+  std::unordered_set<NodeId> used1, used2;
+  auto try_add = [&](const AnchorLink& link) {
+    if (used1.count(link.u1) || used2.count(link.u2)) return false;
+    used1.insert(link.u1);
+    used2.insert(link.u2);
+    out.links.push_back(link);
+    return true;
+  };
+
+  // Pass 1: agreements (deterministic order: sorted by link).
+  std::vector<AnchorLink> agreed;
+  for (const auto& link : direct) {
+    if (composed_keys.count(Key(link))) agreed.push_back(link);
+  }
+  std::sort(agreed.begin(), agreed.end());
+  for (const auto& link : agreed) {
+    if (try_add(link)) ++out.agreed;
+  }
+  // Pass 2: remaining direct links.
+  std::vector<AnchorLink> rest_direct(direct);
+  std::sort(rest_direct.begin(), rest_direct.end());
+  for (const auto& link : rest_direct) {
+    if (composed_keys.count(Key(link))) continue;
+    if (try_add(link)) ++out.direct_only;
+  }
+  // Pass 3: remaining composed links.
+  std::unordered_set<uint64_t> direct_keys;
+  for (const auto& link : direct) direct_keys.insert(Key(link));
+  std::vector<AnchorLink> rest_composed(composed);
+  std::sort(rest_composed.begin(), rest_composed.end());
+  for (const auto& link : rest_composed) {
+    if (direct_keys.count(Key(link))) continue;
+    if (try_add(link)) ++out.composed_only;
+  }
+  return out;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,47 @@
+// Multi-network alignment composition (extension).
+//
+// The paper notes that "simple extensions of the model can be applied to
+// multiple (more than two) aligned social networks". This module provides
+// those extensions on the inference side: composing pairwise alignments
+// transitively (G1~G2 ∘ G2~G3 → G1~G3), measuring the transitive
+// consistency of three pairwise alignments, and reconciling a direct
+// alignment with a composed one.
+
+#ifndef ACTIVEITER_ALIGN_MULTI_ALIGN_H_
+#define ACTIVEITER_ALIGN_MULTI_ALIGN_H_
+
+#include <vector>
+
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+
+/// Composes two one-to-one alignments through their shared middle network:
+/// (u1, u2) ∈ a12 and (u2, u3) ∈ a23 yield (u1, u3). Inputs need not be
+/// one-to-one; outputs preserve whatever multiplicity the inputs imply.
+std::vector<AnchorLink> ComposeAlignments(
+    const std::vector<AnchorLink>& a12, const std::vector<AnchorLink>& a23);
+
+/// Fraction of links in `composed` that also appear in `direct` —
+/// the transitive-consistency score of three pairwise alignments
+/// (1.0 = perfectly consistent). Returns 1.0 when `composed` is empty.
+double TransitiveConsistency(const std::vector<AnchorLink>& composed,
+                             const std::vector<AnchorLink>& direct);
+
+/// Reconciles a direct 1-3 alignment with the 1-2 ∘ 2-3 composition:
+/// links appearing in both are kept first (high confidence), then the
+/// remaining direct links, then the remaining composed links, all subject
+/// to the one-to-one constraint (first come, first served). Deterministic.
+struct ReconciledAlignment {
+  std::vector<AnchorLink> links;
+  size_t agreed = 0;          // links confirmed by both sources
+  size_t direct_only = 0;     // kept from the direct alignment only
+  size_t composed_only = 0;   // kept from the composition only
+};
+ReconciledAlignment ReconcileAlignments(
+    const std::vector<AnchorLink>& direct,
+    const std::vector<AnchorLink>& composed);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_ALIGN_MULTI_ALIGN_H_

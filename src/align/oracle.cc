@@ -1,0 +1,16 @@
+#include "src/align/oracle.h"
+
+namespace activeiter {
+
+double Oracle::Query(NodeId u1, NodeId u2) {
+  ACTIVEITER_CHECK_MSG(used_ < budget_, "oracle budget exhausted");
+  ++used_;
+  return pair_->IsAnchor(u1, u2) ? 1.0 : 0.0;
+}
+
+double Oracle::QueryLink(const CandidateLinkSet& candidates, size_t link_id) {
+  const auto& [u1, u2] = candidates.link(link_id);
+  return Query(u1, u2);
+}
+
+}  // namespace activeiter

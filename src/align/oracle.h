@@ -1,0 +1,44 @@
+// The label oracle of the active-learning loop.
+//
+// In the paper a human answers label queries; here the planted ground truth
+// of the synthetic aligned pair answers them. The oracle also enforces the
+// query budget b: exceeding it is a programming error of the caller.
+
+#ifndef ACTIVEITER_ALIGN_ORACLE_H_
+#define ACTIVEITER_ALIGN_ORACLE_H_
+
+#include <cstddef>
+
+#include "src/graph/aligned_pair.h"
+#include "src/graph/incidence.h"
+
+namespace activeiter {
+
+/// Ground-truth-backed oracle with a query budget.
+class Oracle {
+ public:
+  /// `pair` must outlive the oracle; `budget` is the paper's b.
+  Oracle(const AlignedPair& pair, size_t budget)
+      : pair_(&pair), budget_(budget) {}
+
+  /// True {0,+1} label of a user pair. Consumes one unit of budget;
+  /// CHECK-fails when the budget is exhausted (callers must ask
+  /// remaining_budget() first).
+  double Query(NodeId u1, NodeId u2);
+
+  /// Convenience: query by candidate link id.
+  double QueryLink(const CandidateLinkSet& candidates, size_t link_id);
+
+  size_t budget() const { return budget_; }
+  size_t queries_used() const { return used_; }
+  size_t remaining_budget() const { return budget_ - used_; }
+
+ private:
+  const AlignedPair* pair_;
+  size_t budget_;
+  size_t used_ = 0;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_ALIGN_ORACLE_H_

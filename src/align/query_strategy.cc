@@ -1,0 +1,128 @@
+#include "src/align/query_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace activeiter {
+namespace {
+
+void ValidateContext(const QueryContext& ctx) {
+  ACTIVEITER_CHECK(ctx.scores != nullptr && ctx.y != nullptr &&
+                   ctx.index != nullptr && ctx.pinned != nullptr);
+  size_t n = ctx.scores->size();
+  ACTIVEITER_CHECK(ctx.y->size() == n && ctx.pinned->size() == n &&
+                   ctx.index->candidate_count() == n);
+}
+
+}  // namespace
+
+std::vector<size_t> ConflictQueryStrategy::SelectQueries(
+    const QueryContext& ctx, size_t k, Rng* /*rng*/) {
+  ValidateContext(ctx);
+  const Vector& scores = *ctx.scores;
+  const Vector& y = *ctx.y;
+  const std::vector<Pin>& pinned = *ctx.pinned;
+  const size_t n = scores.size();
+
+  // Candidate set C: links in U− (inferred negative, unpinned) that
+  // conflict with a near-tied positive l' and a dominated positive l''.
+  struct Candidate {
+    size_t link;
+    double gap;  // ŷ_l − ŷ_l'' (sort key, larger first)
+  };
+  std::vector<Candidate> candidates;
+  struct NearMiss {
+    size_t link;
+    double distance;  // min |ŷ_l' − ŷ_l| over conflicting positives
+  };
+  std::vector<NearMiss> near_misses;
+  for (size_t l = 0; l < n; ++l) {
+    if (pinned[l] != Pin::kFree || y(l) > 0.5) continue;  // need l ∈ U−
+    double score_l = scores(l);
+    bool has_close_winner = false;
+    double best_gap = -1.0;
+    double min_distance = -1.0;
+    for (size_t other : ctx.index->ConflictingLinks(l)) {
+      if (pinned[other] != Pin::kFree || y(other) < 0.5) continue;  // U+
+      double score_o = scores(other);
+      double distance = std::abs(score_o - score_l);
+      if (min_distance < 0.0 || distance < min_distance) {
+        min_distance = distance;
+      }
+      if (distance <= closeness_) {
+        has_close_winner = true;  // candidate for l'
+      }
+      if (score_o > 0.0 && score_l - score_o >= dominance_) {
+        best_gap = std::max(best_gap, score_l - score_o);  // candidate l''
+      }
+    }
+    // NOTE: l' and l'' are necessarily distinct when both conditions hold
+    // with closeness_ < dominance-implied separation; when the same
+    // positive satisfies both, querying l is still informative, so we do
+    // not force distinctness.
+    if (has_close_winner && best_gap >= 0.0) {
+      candidates.push_back({l, best_gap});
+    } else if (min_distance >= 0.0) {
+      near_misses.push_back({l, min_distance});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.gap > b.gap;
+                   });
+  std::vector<size_t> out;
+  for (size_t i = 0; i < candidates.size() && out.size() < k; ++i) {
+    out.push_back(candidates[i].link);
+  }
+  if (fill_with_near_misses_ && out.size() < k) {
+    std::stable_sort(near_misses.begin(), near_misses.end(),
+                     [](const NearMiss& a, const NearMiss& b) {
+                       return a.distance < b.distance;
+                     });
+    for (size_t i = 0; i < near_misses.size() && out.size() < k; ++i) {
+      out.push_back(near_misses[i].link);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> RandomQueryStrategy::SelectQueries(const QueryContext& ctx,
+                                                       size_t k, Rng* rng) {
+  ValidateContext(ctx);
+  ACTIVEITER_CHECK(rng != nullptr);
+  std::vector<size_t> unpinned;
+  for (size_t l = 0; l < ctx.pinned->size(); ++l) {
+    if ((*ctx.pinned)[l] == Pin::kFree) unpinned.push_back(l);
+  }
+  if (unpinned.size() <= k) return unpinned;
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(unpinned.size(), k);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t p : picks) out.push_back(unpinned[p]);
+  return out;
+}
+
+std::vector<size_t> UncertaintyQueryStrategy::SelectQueries(
+    const QueryContext& ctx, size_t k, Rng* /*rng*/) {
+  ValidateContext(ctx);
+  struct Candidate {
+    size_t link;
+    double distance;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t l = 0; l < ctx.pinned->size(); ++l) {
+    if ((*ctx.pinned)[l] != Pin::kFree) continue;
+    candidates.push_back({l, std::abs((*ctx.scores)(l) - threshold_)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.distance < b.distance;
+                   });
+  std::vector<size_t> out;
+  for (size_t i = 0; i < candidates.size() && out.size() < k; ++i) {
+    out.push_back(candidates[i].link);
+  }
+  return out;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,12 @@
+#include "src/align/svm_aligner.h"
+
+namespace activeiter {
+
+Result<Vector> SvmAligner::Run(const Dataset& train,
+                               const Matrix& test_features) const {
+  auto svm = LinearSvm::Train(train, options_);
+  if (!svm.ok()) return svm.status();
+  return svm.value().Predict(test_features);
+}
+
+}  // namespace activeiter

@@ -1,0 +1,35 @@
+#include "src/common/csv.h"
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatDouble(v, precision));
+  WriteRow(fields);
+}
+
+}  // namespace activeiter

@@ -1,0 +1,38 @@
+// Minimal CSV writer for exporting experiment series (figures) so they can
+// be re-plotted outside the harness.
+
+#ifndef ACTIVEITER_COMMON_CSV_H_
+#define ACTIVEITER_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace activeiter {
+
+/// Streams rows of quoted-when-needed CSV to an ostream.
+class CsvWriter {
+ public:
+  /// Does not take ownership of `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {
+    ACTIVEITER_CHECK(out != nullptr);
+  }
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles at the given precision.
+  void WriteNumericRow(const std::vector<double>& values, int precision = 6);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_CSV_H_

@@ -1,0 +1,49 @@
+// Leveled stderr logging. Verbosity is a process-wide setting; benchmarks
+// default to kInfo, tests to kWarning.
+
+#ifndef ACTIVEITER_COMMON_LOG_H_
+#define ACTIVEITER_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace activeiter {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it (with level tag and timestamp) on
+/// destruction, if the level passes the global filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ACTIVEITER_LOG(level)                                        \
+  ::activeiter::internal::LogMessage(::activeiter::LogLevel::level,  \
+                                     __FILE__, __LINE__)             \
+      .stream()
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_LOG_H_

@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (data generation, fold splits,
+// negative sampling, SVM shuffling, random query baselines) draw from Rng so
+// that every experiment is exactly reproducible from a single seed. The
+// engine is xoshiro256**, seeded via splitmix64, which is both faster and
+// statistically stronger than std::mt19937_64 while staying dependency-free.
+
+#ifndef ACTIVEITER_COMMON_RNG_H_
+#define ACTIVEITER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace activeiter {
+
+/// splitmix64 step; used for seeding and cheap hash-mixing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic xoshiro256** random generator.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds produce identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0 (checked).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi (checked).
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric-like draw: number of failures before first success, capped.
+  uint64_t Geometric(double p, uint64_t cap);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (order unspecified but
+  /// deterministic). Requires k <= n (checked).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent, deterministically derived child generator;
+  /// `stream` distinguishes siblings forked from the same parent state.
+  Rng Fork(uint64_t stream);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_RNG_H_

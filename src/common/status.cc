@@ -1,0 +1,50 @@
+#include "src/common/status.h"
+
+namespace activeiter {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& extra) {
+  std::cerr << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace activeiter

@@ -1,0 +1,152 @@
+// Status / Result error-handling primitives (RocksDB/Arrow style).
+//
+// Library code in this project does not throw exceptions across module
+// boundaries. Fallible operations return a Status (or a Result<T> carrying a
+// value), and callers decide how to react. CHECK-style macros are reserved
+// for programmer errors (broken invariants), not for data-dependent failures.
+
+#ifndef ACTIVEITER_COMMON_STATUS_H_
+#define ACTIVEITER_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace activeiter {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// A value-or-error wrapper; holds T iff status().ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; undefined if !ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or aborts with the error message.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_ << "\n";
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Aborts with a diagnostic if `expr` is false. For invariants only.
+#define ACTIVEITER_CHECK(expr)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::activeiter::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (0)
+
+#define ACTIVEITER_CHECK_MSG(expr, msg)                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::activeiter::internal::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define ACTIVEITER_RETURN_IF_ERROR(expr)       \
+  do {                                         \
+    ::activeiter::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_STATUS_H_

@@ -1,0 +1,14 @@
+#include "src/common/stopwatch.h"
+
+namespace activeiter {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  auto d = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(d).count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+}  // namespace activeiter

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the scalability experiments (Figure 4) and
+// the micro-benchmarks that do their own timing.
+
+#ifndef ACTIVEITER_COMMON_STOPWATCH_H_
+#define ACTIVEITER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace activeiter {
+
+/// Monotonic wall-clock timer.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) timing.
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_STOPWATCH_H_

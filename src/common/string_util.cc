@@ -1,0 +1,61 @@
+#include "src/common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace activeiter {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string FormatMeanStd(double mean, double stddev, int precision) {
+  return StrFormat("%.*f±%.*f", precision, mean, precision, stddev);
+}
+
+std::string FormatWithCommas(long long v) {
+  std::string digits = StrFormat("%lld", v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.insert(out.begin(), ',');
+    out.insert(out.begin(), *it);
+    ++count;
+  }
+  if (v < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,35 @@
+// Small string formatting helpers shared by the report/CSV/table writers.
+
+#ifndef ACTIVEITER_COMMON_STRING_UTIL_H_
+#define ACTIVEITER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace activeiter {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Fixed-precision decimal rendering, e.g. FormatDouble(0.63149, 3) == "0.631".
+std::string FormatDouble(double v, int precision);
+
+/// "mean±std" rendering used by the paper-style tables.
+std::string FormatMeanStd(double mean, double stddev, int precision);
+
+/// Renders an integer with thousands separators, e.g. 9490707 -> "9,490,707".
+std::string FormatWithCommas(long long v);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_STRING_UTIL_H_

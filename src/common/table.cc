@@ -1,0 +1,98 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace activeiter {
+namespace {
+
+// Column width must count display characters; "±" is multi-byte in UTF-8,
+// so measure code points rather than bytes (all our content is ASCII or
+// 2-byte UTF-8 symbols).
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) i += 1;
+    else if ((c >> 5) == 0x6) i += 2;
+    else if ((c >> 4) == 0xE) i += 3;
+    else i += 4;
+    ++width;
+  }
+  return width;
+}
+
+void PadTo(std::string* s, size_t width) {
+  size_t w = DisplayWidth(*s);
+  if (w < width) s->append(width - w, ' ');
+}
+
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    ACTIVEITER_CHECK_MSG(row.size() == header_.size(),
+                         "row width differs from header");
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::Print(std::ostream& os) const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], DisplayWidth(cells[i]));
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) widen(r.cells);
+  }
+
+  auto print_line = [&] {
+    os << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < ncols; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      PadTo(&cell, widths[i]);
+      os << ' ' << cell << " |";
+    }
+    os << '\n';
+  };
+
+  print_line();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_line();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) print_line();
+    else print_cells(r.cells);
+  }
+  print_line();
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace activeiter

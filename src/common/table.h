@@ -1,0 +1,44 @@
+// Fixed-width text table printer. The benchmark harness uses it to render
+// rows in the same layout as the paper's Tables II–IV.
+
+#ifndef ACTIVEITER_COMMON_TABLE_H_
+#define ACTIVEITER_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace activeiter {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row; column count of all later rows must match.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (checked against the header width if set).
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and box-drawing separators.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_TABLE_H_

@@ -1,0 +1,75 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+
+#include "src/common/status.h"
+
+namespace activeiter {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ACTIVEITER_CHECK_MSG(!shutdown_, "Submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([i, &fn] { fn(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace activeiter

@@ -1,0 +1,60 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// Feature extraction computes one proximity matrix per meta diagram; the
+// diagrams are independent, so the extractor optionally fans them out over
+// this pool. Determinism is preserved because each task writes to a
+// pre-assigned slot and no task draws randomness.
+
+#ifndef ACTIVEITER_COMMON_THREAD_POOL_H_
+#define ACTIVEITER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace activeiter {
+
+/// A minimal work-queue thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), distributing across `pool` (or inline when
+  /// pool == nullptr). Blocks until all iterations complete.
+  static void ParallelFor(ThreadPool* pool, size_t n,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_THREAD_POOL_H_

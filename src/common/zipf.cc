@@ -1,0 +1,34 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace activeiter {
+
+ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
+  ACTIVEITER_CHECK(n > 0);
+  ACTIVEITER_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t r) const {
+  ACTIVEITER_CHECK(r < n_);
+  if (r == 0) return cdf_[0];
+  return cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace activeiter

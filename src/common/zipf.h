@@ -1,0 +1,42 @@
+// Zipf (power-law) integer sampler.
+//
+// Social-network quantities in the synthetic data generator — posts per
+// user, check-ins per location, follower counts — follow heavy-tailed
+// distributions. ZipfSampler draws rank r in [0, n) with probability
+// proportional to 1/(r+1)^s using an inverse-CDF table built once.
+
+#ifndef ACTIVEITER_COMMON_ZIPF_H_
+#define ACTIVEITER_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace activeiter {
+
+/// Samples ranks from a Zipf(s) distribution over [0, n).
+class ZipfSampler {
+ public:
+  /// Builds the cumulative table. Requires n > 0 and s >= 0 (checked).
+  /// s == 0 degenerates to the uniform distribution.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank r.
+  double Pmf(size_t r) const;
+
+  size_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); cdf_.back() == 1.
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_COMMON_ZIPF_H_

@@ -1,0 +1,274 @@
+#include "src/datagen/aligned_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/common/zipf.h"
+#include "src/graph/schema.h"
+
+namespace activeiter {
+namespace {
+
+/// One persona event: the user was at `location` at `timestamp`.
+struct Event {
+  uint32_t location;
+  uint32_t timestamp;
+};
+
+/// The latent description of a user, observed noisily by every network.
+struct Persona {
+  std::vector<Event> events;
+  std::vector<uint32_t> words;
+};
+
+/// Latent directed friendship graph over shared users with a configurable
+/// preferential-attachment skew.
+std::vector<std::vector<uint32_t>> BuildLatentFriendships(
+    const GeneratorConfig& cfg, Rng* rng) {
+  const size_t n = cfg.shared_users;
+  std::vector<std::vector<uint32_t>> out_edges(n);
+  if (n < 2 || cfg.latent_avg_degree <= 0.0) return out_edges;
+
+  ZipfSampler degree_sampler(
+      std::max<size_t>(1, static_cast<size_t>(cfg.latent_avg_degree * 4)),
+      cfg.degree_zipf);
+
+  // Preferential target pool: popular users appear multiple times.
+  std::vector<uint32_t> pool;
+  pool.reserve(n * 2);
+  for (uint32_t u = 0; u < n; ++u) pool.push_back(u);
+
+  for (uint32_t u = 0; u < n; ++u) {
+    size_t degree = 1 + degree_sampler.Sample(rng);
+    degree = std::min(degree, n - 1);
+    std::vector<bool> chosen(n, false);
+    chosen[u] = true;
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < degree && attempts < degree * 20) {
+      ++attempts;
+      uint32_t target;
+      if (rng->Bernoulli(cfg.preferential_attachment) && !pool.empty()) {
+        target = pool[rng->UniformInt(pool.size())];
+      } else {
+        target = static_cast<uint32_t>(rng->UniformInt(n));
+      }
+      if (chosen[target]) continue;
+      chosen[target] = true;
+      out_edges[u].push_back(target);
+      pool.push_back(target);  // rich get richer
+      ++added;
+    }
+  }
+  return out_edges;
+}
+
+/// Builds one user's persona.
+Persona MakePersona(const GeneratorConfig& cfg, const ZipfSampler& loc_zipf,
+                    const ZipfSampler& time_zipf, const ZipfSampler& word_zipf,
+                    Rng* rng) {
+  Persona p;
+  size_t span = cfg.max_events_per_user - cfg.min_events_per_user + 1;
+  size_t num_events = cfg.min_events_per_user + rng->UniformInt(span);
+  p.events.reserve(num_events);
+  for (size_t e = 0; e < num_events; ++e) {
+    p.events.push_back({static_cast<uint32_t>(loc_zipf.Sample(rng)),
+                        static_cast<uint32_t>(time_zipf.Sample(rng))});
+  }
+  p.words.reserve(cfg.persona_words);
+  for (size_t w = 0; w < cfg.persona_words; ++w) {
+    p.words.push_back(static_cast<uint32_t>(word_zipf.Sample(rng)));
+  }
+  return p;
+}
+
+/// Materialises one network side: observes the latent friendships of its
+/// users and writes posts sampled from their personas.
+/// `user_persona[u]` is the persona of local user u; `latent_of[u]` is the
+/// latent (shared) user index of local user u, or -1 for exclusive users.
+HeteroNetwork BuildSide(const GeneratorConfig& cfg, const SideConfig& side,
+                        const std::string& name,
+                        const std::vector<Persona>& user_persona,
+                        const std::vector<int64_t>& latent_of,
+                        const std::vector<std::vector<uint32_t>>& latent_edges,
+                        const std::vector<uint32_t>& local_of_latent,
+                        Rng* rng) {
+  HeteroNetwork net(NetworkSchema::SocialNetwork(), name);
+  const size_t num_users = user_persona.size();
+  net.AddNodes(NodeType::kUser, num_users);
+  net.AddNodes(NodeType::kWord, cfg.num_words);
+  net.AddNodes(NodeType::kLocation, cfg.num_locations);
+  net.AddNodes(NodeType::kTimestamp, cfg.num_timestamps);
+
+  // Follow edges: latent edges observed with follow_keep_prob ...
+  for (size_t u = 0; u < num_users; ++u) {
+    if (latent_of[u] < 0) continue;
+    for (uint32_t latent_target : latent_edges[static_cast<size_t>(
+             latent_of[u])]) {
+      if (!rng->Bernoulli(side.follow_keep_prob)) continue;
+      uint32_t local_target = local_of_latent[latent_target];
+      ACTIVEITER_CHECK(net.AddEdge(RelationType::kFollow,
+                                   static_cast<NodeId>(u), local_target)
+                           .ok());
+    }
+  }
+  // ... plus uniform noise follows involving all (incl. exclusive) users.
+  size_t noise_edges = static_cast<size_t>(
+      std::llround(side.noise_follow_per_user * static_cast<double>(num_users)));
+  for (size_t e = 0; e < noise_edges && num_users >= 2; ++e) {
+    uint32_t src = static_cast<uint32_t>(rng->UniformInt(num_users));
+    uint32_t dst = static_cast<uint32_t>(rng->UniformInt(num_users));
+    if (src == dst) continue;
+    ACTIVEITER_CHECK(net.AddEdge(RelationType::kFollow, src, dst).ok());
+  }
+
+  // Posts with attributes.
+  ZipfSampler posts_zipf(
+      std::max<size_t>(1, static_cast<size_t>(side.mean_posts_per_user * 4)),
+      1.0);
+  ZipfSampler loc_zipf(cfg.num_locations, cfg.location_zipf);
+  ZipfSampler time_zipf(cfg.num_timestamps, cfg.timestamp_zipf);
+  for (size_t u = 0; u < num_users; ++u) {
+    const Persona& persona = user_persona[u];
+    size_t num_posts = 1 + posts_zipf.Sample(rng);
+    for (size_t p = 0; p < num_posts; ++p) {
+      NodeId post = net.AddNodes(NodeType::kPost, 1);
+      ACTIVEITER_CHECK(
+          net.AddEdge(RelationType::kWrite, static_cast<NodeId>(u), post)
+              .ok());
+      // Location + timestamp: persona event or noise.
+      uint32_t loc, ts;
+      if (!persona.events.empty() && rng->Bernoulli(side.event_fidelity)) {
+        const Event& ev = persona.events[rng->UniformInt(
+            persona.events.size())];
+        loc = ev.location;
+        ts = ev.timestamp;
+      } else {
+        loc = static_cast<uint32_t>(loc_zipf.Sample(rng));
+        ts = static_cast<uint32_t>(time_zipf.Sample(rng));
+      }
+      ACTIVEITER_CHECK(net.AddEdge(RelationType::kCheckin, post, loc).ok());
+      ACTIVEITER_CHECK(net.AddEdge(RelationType::kAt, post, ts).ok());
+      // Words: drawn from the persona vocabulary.
+      for (size_t w = 0; w < cfg.words_per_post && !persona.words.empty();
+           ++w) {
+        uint32_t word = persona.words[rng->UniformInt(persona.words.size())];
+        ACTIVEITER_CHECK(net.AddEdge(RelationType::kContain, post, word).ok());
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+Result<std::vector<AnchorLink>> MultiAlignedNetworks::AnchorsBetween(
+    size_t i, size_t j) const {
+  if (i >= side_count() || j >= side_count() || i == j) {
+    return Status::InvalidArgument(
+        StrFormat("bad side pair (%zu, %zu) of %zu networks", i, j,
+                  side_count()));
+  }
+  std::vector<AnchorLink> anchors;
+  anchors.reserve(shared_user_count());
+  for (size_t latent = 0; latent < shared_user_count(); ++latent) {
+    anchors.push_back(
+        {local_of_latent[i][latent], local_of_latent[j][latent]});
+  }
+  return anchors;
+}
+
+Result<AlignedPair> MultiAlignedNetworks::MakePair(size_t i, size_t j) const {
+  auto anchors = AnchorsBetween(i, j);
+  if (!anchors.ok()) return anchors.status();
+  AlignedPair pair(networks[i], networks[j]);
+  for (const auto& a : anchors.value()) {
+    ACTIVEITER_RETURN_IF_ERROR(pair.AddAnchor(a.u1, a.u2));
+  }
+  return pair;
+}
+
+Result<MultiAlignedNetworks> AlignedNetworkGenerator::GenerateMany(
+    size_t num_sides) const {
+  Status st = config_.Validate();
+  if (!st.ok()) return st;
+  if (num_sides < 2) {
+    return Status::InvalidArgument("need at least two networks");
+  }
+  const GeneratorConfig& cfg = config_;
+
+  Rng root(cfg.seed);
+  Rng persona_rng = root.Fork(1);
+  Rng latent_rng = root.Fork(2);
+  Rng perm_rng = root.Fork(5);
+
+  ZipfSampler loc_zipf(cfg.num_locations, cfg.location_zipf);
+  ZipfSampler time_zipf(cfg.num_timestamps, cfg.timestamp_zipf);
+  ZipfSampler word_zipf(cfg.num_words, cfg.word_zipf);
+
+  std::vector<Persona> shared_personas(cfg.shared_users);
+  for (auto& p : shared_personas) {
+    p = MakePersona(cfg, loc_zipf, time_zipf, word_zipf, &persona_rng);
+  }
+  auto latent_edges = BuildLatentFriendships(cfg, &latent_rng);
+
+  // Shared users get a shuffled block of local ids per side; exclusive
+  // users fill the rest, so local ids carry no alignment information.
+  auto layout_side = [&](size_t extra, Rng* rng,
+                         std::vector<int64_t>* latent_of,
+                         std::vector<uint32_t>* local_of_latent,
+                         std::vector<Persona>* personas) {
+    size_t total = cfg.shared_users + extra;
+    std::vector<uint32_t> ids(total);
+    for (uint32_t k = 0; k < total; ++k) ids[k] = k;
+    rng->Shuffle(&ids);
+    latent_of->assign(total, -1);
+    local_of_latent->assign(cfg.shared_users, 0);
+    personas->resize(total);
+    for (size_t latent = 0; latent < cfg.shared_users; ++latent) {
+      uint32_t local = ids[latent];
+      (*latent_of)[local] = static_cast<int64_t>(latent);
+      (*local_of_latent)[latent] = local;
+      (*personas)[local] = shared_personas[latent];
+    }
+    for (size_t k = cfg.shared_users; k < total; ++k) {
+      uint32_t local = ids[k];
+      (*personas)[local] =
+          MakePersona(cfg, loc_zipf, time_zipf, word_zipf, rng);
+    }
+  };
+
+  MultiAlignedNetworks result;
+  result.networks.reserve(num_sides);
+  result.local_of_latent.resize(num_sides);
+  for (size_t side = 0; side < num_sides; ++side) {
+    const SideConfig& side_cfg = side % 2 == 0 ? cfg.first : cfg.second;
+    std::string base_name =
+        side % 2 == 0 ? cfg.first_name : cfg.second_name;
+    std::string name =
+        num_sides == 2 ? base_name
+                       : StrFormat("%s-%zu", base_name.c_str(), side);
+    std::vector<int64_t> latent_of;
+    std::vector<Persona> personas;
+    layout_side(side_cfg.extra_users, &perm_rng, &latent_of,
+                &result.local_of_latent[side], &personas);
+    Rng side_rng = root.Fork(3 + side);
+    result.networks.push_back(BuildSide(cfg, side_cfg, name, personas,
+                                        latent_of, latent_edges,
+                                        result.local_of_latent[side],
+                                        &side_rng));
+  }
+  return result;
+}
+
+Result<AlignedPair> AlignedNetworkGenerator::Generate() const {
+  auto multi = GenerateMany(2);
+  if (!multi.ok()) return multi.status();
+  auto pair = multi.value().MakePair(0, 1);
+  if (!pair.ok()) return pair.status();
+  ACTIVEITER_RETURN_IF_ERROR(pair.value().ValidateSharedAttributes());
+  return pair;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,64 @@
+#include "src/datagen/generator_config.h"
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+namespace {
+
+Status ValidateProb(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s must be in [0,1], got %f", name, p));
+  }
+  return Status::OK();
+}
+
+Status ValidateSide(const SideConfig& side, const char* label) {
+  ACTIVEITER_RETURN_IF_ERROR(
+      ValidateProb(side.follow_keep_prob, "follow_keep_prob"));
+  ACTIVEITER_RETURN_IF_ERROR(
+      ValidateProb(side.event_fidelity, "event_fidelity"));
+  if (side.noise_follow_per_user < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: noise_follow_per_user must be >= 0", label));
+  }
+  if (side.mean_posts_per_user < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: mean_posts_per_user must be >= 0", label));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GeneratorConfig::Validate() const {
+  if (shared_users == 0) {
+    return Status::InvalidArgument("shared_users must be > 0");
+  }
+  ACTIVEITER_RETURN_IF_ERROR(ValidateSide(first, "first"));
+  ACTIVEITER_RETURN_IF_ERROR(ValidateSide(second, "second"));
+  if (latent_avg_degree < 0.0) {
+    return Status::InvalidArgument("latent_avg_degree must be >= 0");
+  }
+  ACTIVEITER_RETURN_IF_ERROR(
+      ValidateProb(preferential_attachment, "preferential_attachment"));
+  if (num_locations == 0 || num_timestamps == 0 || num_words == 0) {
+    return Status::InvalidArgument("attribute universes must be non-empty");
+  }
+  if (min_events_per_user > max_events_per_user) {
+    return Status::InvalidArgument(
+        "min_events_per_user must be <= max_events_per_user");
+  }
+  if (max_events_per_user == 0) {
+    return Status::InvalidArgument("max_events_per_user must be > 0");
+  }
+  if (words_per_post > num_words || persona_words > num_words) {
+    return Status::InvalidArgument("per-post words exceed vocabulary");
+  }
+  for (double z : {location_zipf, timestamp_zipf, word_zipf, degree_zipf}) {
+    if (z < 0.0) return Status::InvalidArgument("zipf exponents must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace activeiter

@@ -1,0 +1,53 @@
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+
+GeneratorConfig TinyPreset(uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.shared_users = 60;
+  cfg.first.extra_users = 15;
+  cfg.second.extra_users = 20;
+  cfg.first.mean_posts_per_user = 4.0;
+  cfg.second.mean_posts_per_user = 3.0;
+  cfg.num_locations = 80;
+  cfg.num_timestamps = 60;
+  cfg.num_words = 150;
+  cfg.latent_avg_degree = 6.0;
+  return cfg;
+}
+
+GeneratorConfig BenchmarkPreset(uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.shared_users = 400;
+  cfg.first.extra_users = 100;
+  cfg.second.extra_users = 150;
+  return cfg;
+}
+
+GeneratorConfig FoursquareTwitterPreset(uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.shared_users = 400;
+  // Twitter-like: slightly fewer exclusive users, far more posts, denser
+  // follow graph (paper: 164,920 follows vs 76,972, 9.5M tweets vs 48.8k).
+  // Noise levels are tuned so the alignment difficulty lands in the
+  // paper's regime (Iter-MPMD F1 in the 0.3..0.6 band across θ) rather
+  // than a trivially clean planted signal.
+  cfg.first.extra_users = 80;
+  cfg.first.mean_posts_per_user = 14.0;
+  cfg.first.follow_keep_prob = 0.55;
+  cfg.first.noise_follow_per_user = 3.0;
+  cfg.first.event_fidelity = 0.4;
+  // Foursquare-like: location-centric, fewer posts but higher-fidelity
+  // tips.
+  cfg.second.extra_users = 140;
+  cfg.second.mean_posts_per_user = 4.0;
+  cfg.second.follow_keep_prob = 0.45;
+  cfg.second.noise_follow_per_user = 2.0;
+  cfg.second.event_fidelity = 0.6;
+  return cfg;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,24 @@
+// Generator presets used by tests, examples and the benchmark harness.
+
+#ifndef ACTIVEITER_DATAGEN_PRESETS_H_
+#define ACTIVEITER_DATAGEN_PRESETS_H_
+
+#include "src/datagen/generator_config.h"
+
+namespace activeiter {
+
+/// Tiny pair for unit tests (fast, ~60 shared users).
+GeneratorConfig TinyPreset(uint64_t seed = 7);
+
+/// Default experiment scale (~400 shared users): every table/figure bench
+/// runs on this within seconds-to-minutes on a laptop.
+GeneratorConfig BenchmarkPreset(uint64_t seed = 42);
+
+/// A Foursquare/Twitter-flavoured asymmetric pair: the first side posts
+/// ~6x more (Twitter) while the second side is sparser (Foursquare),
+/// mirroring the asymmetry of the paper's Table II at reduced scale.
+GeneratorConfig FoursquareTwitterPreset(uint64_t seed = 42);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_DATAGEN_PRESETS_H_

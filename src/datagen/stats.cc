@@ -1,0 +1,63 @@
+#include "src/datagen/stats.h"
+
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+#include "src/common/table.h"
+
+namespace activeiter {
+namespace {
+
+size_t DistinctTargets(const HeteroNetwork& net, RelationType relation) {
+  std::unordered_set<NodeId> seen;
+  for (const auto& [src, dst] : net.Edges(relation)) {
+    (void)src;
+    seen.insert(dst);
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+NetworkStats ComputeNetworkStats(const HeteroNetwork& net) {
+  NetworkStats s;
+  s.name = net.name();
+  s.users = net.NodeCount(NodeType::kUser);
+  s.posts = net.NodeCount(NodeType::kPost);
+  s.locations_used = DistinctTargets(net, RelationType::kCheckin);
+  s.timestamps_used = DistinctTargets(net, RelationType::kAt);
+  s.words_used = DistinctTargets(net, RelationType::kContain);
+  s.follow_links = net.EdgeCount(RelationType::kFollow);
+  s.write_links = net.EdgeCount(RelationType::kWrite);
+  s.checkin_links = net.EdgeCount(RelationType::kCheckin);
+  s.at_links = net.EdgeCount(RelationType::kAt);
+  return s;
+}
+
+std::string RenderDatasetTable(const AlignedPair& pair) {
+  NetworkStats a = ComputeNetworkStats(pair.first());
+  NetworkStats b = ComputeNetworkStats(pair.second());
+  TextTable t;
+  t.SetHeader({"property", a.name, b.name});
+  auto row = [&](const std::string& label, size_t va, size_t vb) {
+    t.AddRow({label, FormatWithCommas(static_cast<long long>(va)),
+              FormatWithCommas(static_cast<long long>(vb))});
+  };
+  row("# node: user", a.users, b.users);
+  row("# node: post (tweet/tip)", a.posts, b.posts);
+  row("# node: location", a.locations_used, b.locations_used);
+  row("# node: timestamp", a.timestamps_used, b.timestamps_used);
+  row("# node: word", a.words_used, b.words_used);
+  t.AddSeparator();
+  row("# link: friend/follow", a.follow_links, b.follow_links);
+  row("# link: write", a.write_links, b.write_links);
+  row("# link: checkin", a.checkin_links, b.checkin_links);
+  row("# link: at", a.at_links, b.at_links);
+  t.AddSeparator();
+  t.AddRow({"# anchor links",
+            FormatWithCommas(static_cast<long long>(pair.anchor_count())),
+            ""});
+  return t.ToString();
+}
+
+}  // namespace activeiter

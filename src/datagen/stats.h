@@ -1,0 +1,36 @@
+// Network statistics — the reproduction of Table II ("properties of the
+// heterogeneous networks").
+
+#ifndef ACTIVEITER_DATAGEN_STATS_H_
+#define ACTIVEITER_DATAGEN_STATS_H_
+
+#include <string>
+
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+
+/// Per-network node/link counts, mirroring the rows of Table II.
+struct NetworkStats {
+  std::string name;
+  size_t users = 0;
+  size_t posts = 0;
+  size_t locations_used = 0;   // distinct locations with >= 1 check-in
+  size_t timestamps_used = 0;  // distinct timestamps with >= 1 post
+  size_t words_used = 0;       // distinct words appearing in posts
+  size_t follow_links = 0;
+  size_t write_links = 0;
+  size_t checkin_links = 0;
+  size_t at_links = 0;
+};
+
+/// Computes stats of one network.
+NetworkStats ComputeNetworkStats(const HeteroNetwork& net);
+
+/// Renders a Table II-style comparison of the two sides plus the anchor
+/// count, as a printable string.
+std::string RenderDatasetTable(const AlignedPair& pair);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_DATAGEN_STATS_H_

@@ -1,0 +1,37 @@
+#include "src/eval/candidate_sampler.h"
+
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+Result<std::vector<AnchorLink>> SampleNegativePairs(const AlignedPair& pair,
+                                                    size_t count, Rng* rng) {
+  ACTIVEITER_CHECK(rng != nullptr);
+  const size_t n1 = pair.first().NodeCount(NodeType::kUser);
+  const size_t n2 = pair.second().NodeCount(NodeType::kUser);
+  const size_t total_pairs = n1 * n2;
+  if (total_pairs < pair.anchor_count() + count) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot sample %zu negatives from %zu non-anchor pairs", count,
+        total_pairs - pair.anchor_count()));
+  }
+
+  std::unordered_set<uint64_t> chosen;
+  std::vector<AnchorLink> out;
+  out.reserve(count);
+  // Rejection sampling; the negative space vastly dominates in all
+  // realistic configurations, so collisions are rare.
+  while (out.size() < count) {
+    NodeId u1 = static_cast<NodeId>(rng->UniformInt(n1));
+    NodeId u2 = static_cast<NodeId>(rng->UniformInt(n2));
+    if (pair.IsAnchor(u1, u2)) continue;
+    uint64_t key = (static_cast<uint64_t>(u1) << 32) | u2;
+    if (!chosen.insert(key).second) continue;
+    out.push_back({u1, u2});
+  }
+  return out;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,24 @@
+// Negative candidate sampling.
+//
+// The experiment protocol (§IV-B.1) samples θ·|L+| non-anchor user pairs
+// uniformly from H \ L+ as the negative set, where θ is the NP-ratio.
+
+#ifndef ACTIVEITER_EVAL_CANDIDATE_SAMPLER_H_
+#define ACTIVEITER_EVAL_CANDIDATE_SAMPLER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+
+/// Samples `count` distinct non-anchor user pairs uniformly. Fails when
+/// fewer than `count` non-anchor pairs exist.
+Result<std::vector<AnchorLink>> SampleNegativePairs(const AlignedPair& pair,
+                                                    size_t count, Rng* rng);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_EVAL_CANDIDATE_SAMPLER_H_

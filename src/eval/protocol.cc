@@ -1,0 +1,123 @@
+#include "src/eval/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/eval/candidate_sampler.h"
+
+namespace activeiter {
+
+Status ProtocolConfig::Validate() const {
+  if (np_ratio <= 0.0) {
+    return Status::InvalidArgument("np_ratio must be > 0");
+  }
+  if (sample_ratio <= 0.0 || sample_ratio > 1.0) {
+    return Status::InvalidArgument("sample_ratio must be in (0, 1]");
+  }
+  if (num_folds < 2) {
+    return Status::InvalidArgument("num_folds must be >= 2");
+  }
+  return Status::OK();
+}
+
+Protocol::Protocol(const AlignedPair* pair, ProtocolConfig config,
+                   std::vector<AnchorLink> positives,
+                   std::vector<AnchorLink> negatives)
+    : pair_(pair),
+      config_(config),
+      positives_(std::move(positives)),
+      negatives_(std::move(negatives)) {}
+
+Result<Protocol> Protocol::Create(const AlignedPair& pair,
+                                  const ProtocolConfig& config) {
+  ACTIVEITER_RETURN_IF_ERROR(config.Validate());
+  if (pair.anchor_count() < config.num_folds) {
+    return Status::FailedPrecondition(
+        StrFormat("need at least %zu anchors for %zu folds",
+                  config.num_folds, config.num_folds));
+  }
+  Rng rng(config.seed);
+  std::vector<AnchorLink> positives = pair.anchors();
+  rng.Shuffle(&positives);
+
+  size_t neg_count = static_cast<size_t>(
+      std::llround(config.np_ratio * static_cast<double>(positives.size())));
+  Rng neg_rng = rng.Fork(99);
+  auto negatives = SampleNegativePairs(pair, neg_count, &neg_rng);
+  if (!negatives.ok()) return negatives.status();
+
+  return Protocol(&pair, config, std::move(positives),
+                  std::move(negatives).value());
+}
+
+namespace {
+
+/// Stripe [fold*size/folds, (fold+1)*size/folds) of a pool.
+std::pair<size_t, size_t> FoldRange(size_t size, size_t folds, size_t fold) {
+  size_t begin = fold * size / folds;
+  size_t end = (fold + 1) * size / folds;
+  return {begin, end};
+}
+
+}  // namespace
+
+FoldData Protocol::MakeFold(size_t fold) const {
+  ACTIVEITER_CHECK_MSG(fold < config_.num_folds, "fold index out of range");
+  FoldData data;
+
+  auto [pos_begin, pos_end] = FoldRange(positives_.size(),
+                                        config_.num_folds, fold);
+  auto [neg_begin, neg_end] = FoldRange(negatives_.size(),
+                                        config_.num_folds, fold);
+
+  // γ sub-sampling of the 1-fold training pool, deterministic per fold.
+  Rng gamma_rng(config_.seed ^ (0xABCDEF1234567ULL + fold));
+  auto sample_prefix = [&](size_t begin, size_t end) {
+    size_t pool = end - begin;
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::llround(config_.sample_ratio * static_cast<double>(pool))));
+    keep = std::min(keep, pool);
+    std::vector<size_t> picked =
+        gamma_rng.SampleWithoutReplacement(pool, keep);
+    std::sort(picked.begin(), picked.end());
+    for (auto& p : picked) p += begin;
+    return picked;  // indices into the pool vectors
+  };
+  std::vector<size_t> train_pos_pool = sample_prefix(pos_begin, pos_end);
+  std::vector<size_t> train_neg_pool = sample_prefix(neg_begin, neg_end);
+
+  // Assemble H: all positives then all negatives, in pool order. Link ids
+  // are therefore stable for a given protocol seed.
+  for (const auto& a : positives_) data.candidates.Add(a.u1, a.u2);
+  for (const auto& a : negatives_) data.candidates.Add(a.u1, a.u2);
+  data.truth = Vector(data.candidates.size());
+  for (size_t i = 0; i < positives_.size(); ++i) data.truth(i) = 1.0;
+
+  std::vector<bool> is_train(data.candidates.size(), false);
+  for (size_t idx : train_pos_pool) {
+    data.train_pos.push_back(idx);
+    is_train[idx] = true;
+    data.train_anchors.push_back(positives_[idx]);
+  }
+  for (size_t idx : train_neg_pool) {
+    size_t link_id = positives_.size() + idx;
+    data.train_neg.push_back(link_id);
+    is_train[link_id] = true;
+  }
+  // Test set: everything outside the 1-fold training stripes. Note that
+  // the γ-discarded part of the training stripe belongs to neither set,
+  // matching the paper (it is simply not labeled and not evaluated).
+  for (size_t i = 0; i < positives_.size(); ++i) {
+    bool in_stripe = i >= pos_begin && i < pos_end;
+    if (!in_stripe) data.test_ids.push_back(i);
+  }
+  for (size_t i = 0; i < negatives_.size(); ++i) {
+    bool in_stripe = i >= neg_begin && i < neg_end;
+    if (!in_stripe) data.test_ids.push_back(positives_.size() + i);
+  }
+  return data;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,79 @@
+// The cross-validation protocol of §IV-B.1.
+//
+// Positives = all ground-truth anchors; negatives = θ·|positives| sampled
+// non-anchor pairs. Both sets are split into `num_folds` folds; fold f
+// serves as the (1-fold) training pool and the rest as the test set. The
+// training pool is further sub-sampled by the sample-ratio γ (γ = 60%
+// means 60% of the 1-fold pool, i.e. 6% of all labeled data). The fold's
+// candidate set H contains every positive and negative link; labels of
+// train positives form L+; everything else is unlabeled for PU methods.
+
+#ifndef ACTIVEITER_EVAL_PROTOCOL_H_
+#define ACTIVEITER_EVAL_PROTOCOL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+#include "src/graph/incidence.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// Protocol parameters.
+struct ProtocolConfig {
+  double np_ratio = 50.0;     // θ
+  double sample_ratio = 0.6;  // γ ∈ (0, 1]
+  size_t num_folds = 10;
+  uint64_t seed = 1234;
+
+  Status Validate() const;
+};
+
+/// Everything one fold's experiment needs.
+struct FoldData {
+  CandidateLinkSet candidates;       // H (train + test, pos + neg)
+  Vector truth;                      // ground-truth labels over H
+  std::vector<size_t> train_pos;     // link ids labeled +1 (L+, γ-sampled)
+  std::vector<size_t> train_neg;     // link ids labeled 0 (SVM only)
+  std::vector<size_t> test_ids;      // link ids evaluated
+  std::vector<AnchorLink> train_anchors;  // anchor bridge for features
+
+  size_t size() const { return candidates.size(); }
+};
+
+/// Builds folds deterministically from an aligned pair.
+class Protocol {
+ public:
+  /// Samples the shared negative pool once. Fails on invalid config or
+  /// infeasible negative sampling.
+  static Result<Protocol> Create(const AlignedPair& pair,
+                                 const ProtocolConfig& config);
+
+  size_t num_folds() const { return config_.num_folds; }
+  const ProtocolConfig& config() const { return config_; }
+
+  /// Materialises fold `fold` ∈ [0, num_folds).
+  FoldData MakeFold(size_t fold) const;
+
+  /// Positives/negatives in the pool (diagnostics).
+  size_t positive_count() const { return positives_.size(); }
+  size_t negative_count() const { return negatives_.size(); }
+
+ private:
+  Protocol(const AlignedPair* pair, ProtocolConfig config,
+           std::vector<AnchorLink> positives,
+           std::vector<AnchorLink> negatives);
+
+  const AlignedPair* pair_;
+  ProtocolConfig config_;
+  // Shuffled pools; fold f of a pool is the contiguous stripe
+  // [f*size/folds, (f+1)*size/folds).
+  std::vector<AnchorLink> positives_;
+  std::vector<AnchorLink> negatives_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_EVAL_PROTOCOL_H_

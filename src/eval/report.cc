@@ -1,0 +1,143 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+
+#include "src/common/csv.h"
+#include "src/common/string_util.h"
+#include "src/common/table.h"
+
+namespace activeiter {
+namespace {
+
+struct MetricView {
+  const char* name;
+  const MeanStd MetricAggregate::* field;
+};
+
+constexpr MetricView kMetricViews[] = {
+    {"F1", &MetricAggregate::f1},
+    {"Precision", &MetricAggregate::precision},
+    {"Recall", &MetricAggregate::recall},
+    {"Accuracy", &MetricAggregate::accuracy},
+};
+
+}  // namespace
+
+void PrintSweepTables(std::ostream& os, const SweepResult& result,
+                      int precision) {
+  for (const auto& view : kMetricViews) {
+    os << "== " << view.name << " vs " << result.x_label << " ==\n";
+    TextTable table;
+    std::vector<std::string> header = {"method"};
+    for (double x : result.xs) {
+      header.push_back(StrFormat("%g", x));
+    }
+    table.SetHeader(header);
+    for (size_t m = 0; m < result.method_names.size(); ++m) {
+      std::vector<std::string> row = {result.method_names[m]};
+      for (size_t xi = 0; xi < result.xs.size(); ++xi) {
+        const MeanStd& stat = result.aggregates[m][xi].*(view.field);
+        row.push_back(FormatMeanStd(stat.Mean(), stat.Std(), precision));
+      }
+      table.AddRow(row);
+    }
+    table.Print(os);
+    os << "\n";
+  }
+}
+
+void PrintConvergence(std::ostream& os, const ConvergenceResult& result) {
+  os << "== Convergence analysis (delta-y per external iteration, "
+        "sample-ratio=100%) ==\n";
+  size_t max_iters = 0;
+  for (const auto& series : result.delta_y) {
+    max_iters = std::max(max_iters, series.size());
+  }
+  TextTable table;
+  std::vector<std::string> header = {"NP-ratio"};
+  for (size_t i = 0; i < max_iters; ++i) {
+    header.push_back("iter " + std::to_string(i + 1));
+  }
+  table.SetHeader(header);
+  for (size_t r = 0; r < result.np_ratios.size(); ++r) {
+    std::vector<std::string> row = {StrFormat("%g", result.np_ratios[r])};
+    for (size_t i = 0; i < max_iters; ++i) {
+      row.push_back(i < result.delta_y[r].size()
+                        ? FormatDouble(result.delta_y[r][i], 1)
+                        : "-");
+    }
+    table.AddRow(row);
+  }
+  table.Print(os);
+}
+
+void PrintScalability(std::ostream& os, const ScalabilityResult& result) {
+  os << "== Scalability analysis (model seconds vs NP-ratio, "
+        "sample-ratio=100%) ==\n";
+  TextTable table;
+  table.SetHeader({"NP-ratio", "|H|", "ActiveIter-50 (s)",
+                   "ActiveIter-100 (s)"});
+  for (size_t i = 0; i < result.np_ratios.size(); ++i) {
+    table.AddRow({StrFormat("%g", result.np_ratios[i]),
+                  std::to_string(result.candidate_counts[i]),
+                  FormatDouble(result.seconds_b50[i], 3),
+                  FormatDouble(result.seconds_b100[i], 3)});
+  }
+  table.Print(os);
+}
+
+void PrintBudgetSweep(std::ostream& os, const BudgetSweepResult& result,
+                      double sample_ratio) {
+  for (const auto& view : kMetricViews) {
+    os << "== " << view.name << " vs budget ==\n";
+    TextTable table;
+    std::vector<std::string> header = {"method"};
+    for (size_t b : result.budgets) header.push_back(std::to_string(b));
+    table.SetHeader(header);
+
+    auto series_row = [&](const std::string& name,
+                          const std::vector<MetricAggregate>& series) {
+      std::vector<std::string> row = {name};
+      for (const auto& agg : series) {
+        const MeanStd& stat = agg.*(view.field);
+        row.push_back(FormatMeanStd(stat.Mean(), stat.Std(), 4));
+      }
+      table.AddRow(row);
+    };
+    series_row("ActiveIter", result.active);
+    series_row("ActiveIter-Rand", result.active_rand);
+
+    auto ref_row = [&](const std::string& name, const MetricAggregate& agg) {
+      std::vector<std::string> row = {name};
+      const MeanStd& stat = agg.*(view.field);
+      std::string cell = FormatMeanStd(stat.Mean(), stat.Std(), 4);
+      for (size_t i = 0; i < result.budgets.size(); ++i) row.push_back(cell);
+      table.AddRow(row);
+    };
+    ref_row(StrFormat("%.0f%% Iter-MPMD", sample_ratio * 100.0),
+            result.iter_ref_gamma);
+    ref_row(StrFormat("%.0f%% Iter-MPMD",
+                      std::min(1.0, sample_ratio + 0.1) * 100.0),
+            result.iter_ref_gamma_plus);
+    table.Print(os);
+    os << "\n";
+  }
+}
+
+void WriteSweepCsv(std::ostream& os, const SweepResult& result) {
+  CsvWriter writer(&os);
+  writer.WriteRow({"metric", "method", "x", "mean", "std"});
+  for (const auto& view : kMetricViews) {
+    for (size_t m = 0; m < result.method_names.size(); ++m) {
+      for (size_t xi = 0; xi < result.xs.size(); ++xi) {
+        const MeanStd& stat = result.aggregates[m][xi].*(view.field);
+        writer.WriteRow({view.name, result.method_names[m],
+                         StrFormat("%g", result.xs[xi]),
+                         FormatDouble(stat.Mean(), 6),
+                         FormatDouble(stat.Std(), 6)});
+      }
+    }
+  }
+}
+
+}  // namespace activeiter

@@ -1,0 +1,36 @@
+// Rendering of experiment results in the paper's table/figure layouts.
+
+#ifndef ACTIVEITER_EVAL_REPORT_H_
+#define ACTIVEITER_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/eval/runners.h"
+
+namespace activeiter {
+
+/// Renders a sweep as four metric blocks (F1, Precision, Recall, Accuracy)
+/// with methods as rows and sweep values as columns — the layout of
+/// Tables III and IV.
+void PrintSweepTables(std::ostream& os, const SweepResult& result,
+                      int precision = 3);
+
+/// Renders the Figure 3 series (Δy per iteration, one row per NP-ratio).
+void PrintConvergence(std::ostream& os, const ConvergenceResult& result);
+
+/// Renders the Figure 4 series (runtime vs θ) and the per-θ |H| sizes.
+void PrintScalability(std::ostream& os, const ScalabilityResult& result);
+
+/// Renders the Figure 5 series (metric vs budget, with Iter-MPMD
+/// reference lines).
+void PrintBudgetSweep(std::ostream& os, const BudgetSweepResult& result,
+                      double sample_ratio);
+
+/// Writes a sweep as tidy CSV (metric, method, x, mean, std) for
+/// re-plotting.
+void WriteSweepCsv(std::ostream& os, const SweepResult& result);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_EVAL_REPORT_H_

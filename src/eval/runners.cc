@@ -1,0 +1,202 @@
+#include "src/eval/runners.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/common/string_util.h"
+
+namespace activeiter {
+namespace {
+
+size_t FoldsToRun(const SweepOptions& options) {
+  if (options.folds_to_run == 0) return options.num_folds;
+  return std::min(options.folds_to_run, options.num_folds);
+}
+
+/// Runs the (methods × folds) grid for one protocol configuration and
+/// appends a column of aggregates to `out`.
+Status RunOneConfig(const AlignedPair& pair, const ProtocolConfig& pcfg,
+                    const std::vector<MethodSpec>& methods,
+                    const SweepOptions& options,
+                    std::vector<MetricAggregate>* agg_out,
+                    std::vector<double>* seconds_out) {
+  auto protocol_or = Protocol::Create(pair, pcfg);
+  if (!protocol_or.ok()) return protocol_or.status();
+  const Protocol& protocol = protocol_or.value();
+
+  std::vector<MetricAggregate> aggregates(methods.size());
+  std::vector<MeanStd> seconds(methods.size());
+  size_t folds = FoldsToRun(options);
+  for (size_t fold = 0; fold < folds; ++fold) {
+    FoldRunner runner(pair, protocol.MakeFold(fold),
+                      options.seed ^ (fold * 0x9E3779B9ULL), options.pool);
+    for (size_t m = 0; m < methods.size(); ++m) {
+      auto outcome = runner.Run(methods[m]);
+      if (!outcome.ok()) return outcome.status();
+      aggregates[m].Add(outcome.value().metrics);
+      seconds[m].Add(outcome.value().seconds);
+    }
+  }
+  *agg_out = std::move(aggregates);
+  if (seconds_out != nullptr) {
+    seconds_out->clear();
+    for (const auto& s : seconds) seconds_out->push_back(s.Mean());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SweepResult> RunNpRatioSweep(const AlignedPair& pair,
+                                    const std::vector<double>& np_ratios,
+                                    double sample_ratio,
+                                    const std::vector<MethodSpec>& methods,
+                                    const SweepOptions& options) {
+  SweepResult result;
+  result.x_label = "NP-ratio";
+  result.xs = np_ratios;
+  for (const auto& m : methods) result.method_names.push_back(m.name);
+  result.aggregates.assign(methods.size(), {});
+  result.mean_seconds.assign(methods.size(), {});
+
+  for (double theta : np_ratios) {
+    ACTIVEITER_LOG(kInfo) << "NP-ratio sweep: theta=" << theta;
+    ProtocolConfig pcfg;
+    pcfg.np_ratio = theta;
+    pcfg.sample_ratio = sample_ratio;
+    pcfg.num_folds = options.num_folds;
+    pcfg.seed = options.seed;
+    std::vector<MetricAggregate> column;
+    std::vector<double> seconds;
+    Status st = RunOneConfig(pair, pcfg, methods, options, &column, &seconds);
+    if (!st.ok()) return st;
+    for (size_t m = 0; m < methods.size(); ++m) {
+      result.aggregates[m].push_back(column[m]);
+      result.mean_seconds[m].push_back(seconds[m]);
+    }
+  }
+  return result;
+}
+
+Result<SweepResult> RunSampleRatioSweep(const AlignedPair& pair,
+                                        double np_ratio,
+                                        const std::vector<double>& ratios,
+                                        const std::vector<MethodSpec>& methods,
+                                        const SweepOptions& options) {
+  SweepResult result;
+  result.x_label = "Sample ratio";
+  result.xs = ratios;
+  for (const auto& m : methods) result.method_names.push_back(m.name);
+  result.aggregates.assign(methods.size(), {});
+  result.mean_seconds.assign(methods.size(), {});
+
+  for (double gamma : ratios) {
+    ACTIVEITER_LOG(kInfo) << "sample-ratio sweep: gamma=" << gamma;
+    ProtocolConfig pcfg;
+    pcfg.np_ratio = np_ratio;
+    pcfg.sample_ratio = gamma;
+    pcfg.num_folds = options.num_folds;
+    pcfg.seed = options.seed;
+    std::vector<MetricAggregate> column;
+    std::vector<double> seconds;
+    Status st = RunOneConfig(pair, pcfg, methods, options, &column, &seconds);
+    if (!st.ok()) return st;
+    for (size_t m = 0; m < methods.size(); ++m) {
+      result.aggregates[m].push_back(column[m]);
+      result.mean_seconds[m].push_back(seconds[m]);
+    }
+  }
+  return result;
+}
+
+Result<ConvergenceResult> RunConvergenceAnalysis(
+    const AlignedPair& pair, const std::vector<double>& np_ratios,
+    const SweepOptions& options) {
+  ConvergenceResult result;
+  result.np_ratios = np_ratios;
+  for (double theta : np_ratios) {
+    ProtocolConfig pcfg;
+    pcfg.np_ratio = theta;
+    pcfg.sample_ratio = 1.0;  // Figure 3 uses sample-ratio 100%
+    pcfg.num_folds = options.num_folds;
+    pcfg.seed = options.seed;
+    auto protocol = Protocol::Create(pair, pcfg);
+    if (!protocol.ok()) return protocol.status();
+    FoldRunner runner(pair, protocol.value().MakeFold(0), options.seed,
+                      options.pool);
+    auto outcome = runner.Run(IterMpmdSpec());
+    if (!outcome.ok()) return outcome.status();
+    ACTIVEITER_CHECK(!outcome.value().traces.empty());
+    result.delta_y.push_back(outcome.value().traces.front().delta_y);
+  }
+  return result;
+}
+
+Result<ScalabilityResult> RunScalabilityAnalysis(
+    const AlignedPair& pair, const std::vector<double>& np_ratios,
+    const SweepOptions& options) {
+  ScalabilityResult result;
+  result.np_ratios = np_ratios;
+  for (double theta : np_ratios) {
+    ACTIVEITER_LOG(kInfo) << "scalability: theta=" << theta;
+    ProtocolConfig pcfg;
+    pcfg.np_ratio = theta;
+    pcfg.sample_ratio = 1.0;  // Figure 4 uses sample-ratio 100%
+    pcfg.num_folds = options.num_folds;
+    pcfg.seed = options.seed;
+    auto protocol = Protocol::Create(pair, pcfg);
+    if (!protocol.ok()) return protocol.status();
+    FoldRunner runner(pair, protocol.value().MakeFold(0), options.seed,
+                      options.pool);
+    result.candidate_counts.push_back(runner.fold().size());
+    auto b50 = runner.Run(ActiveIterSpec(50));
+    if (!b50.ok()) return b50.status();
+    result.seconds_b50.push_back(b50.value().seconds);
+    auto b100 = runner.Run(ActiveIterSpec(100));
+    if (!b100.ok()) return b100.status();
+    result.seconds_b100.push_back(b100.value().seconds);
+  }
+  return result;
+}
+
+Result<BudgetSweepResult> RunBudgetSweep(const AlignedPair& pair,
+                                         double np_ratio, double sample_ratio,
+                                         const std::vector<size_t>& budgets,
+                                         const SweepOptions& options) {
+  BudgetSweepResult result;
+  result.budgets = budgets;
+
+  std::vector<MethodSpec> methods;
+  for (size_t b : budgets) methods.push_back(ActiveIterSpec(b));
+  for (size_t b : budgets) {
+    methods.push_back(ActiveIterSpec(b, QueryStrategyKind::kRandom));
+  }
+  methods.push_back(IterMpmdSpec());
+
+  ProtocolConfig pcfg;
+  pcfg.np_ratio = np_ratio;
+  pcfg.sample_ratio = sample_ratio;
+  pcfg.num_folds = options.num_folds;
+  pcfg.seed = options.seed;
+  std::vector<MetricAggregate> column;
+  Status st = RunOneConfig(pair, pcfg, methods, options, &column, nullptr);
+  if (!st.ok()) return st;
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    result.active.push_back(column[i]);
+    result.active_rand.push_back(column[budgets.size() + i]);
+  }
+  result.iter_ref_gamma = column.back();
+
+  // Reference line: Iter-MPMD with 10 extra percentage points of labels.
+  ProtocolConfig pcfg_plus = pcfg;
+  pcfg_plus.sample_ratio = std::min(1.0, sample_ratio + 0.1);
+  std::vector<MethodSpec> iter_only = {IterMpmdSpec()};
+  std::vector<MetricAggregate> plus_column;
+  st = RunOneConfig(pair, pcfg_plus, iter_only, options, &plus_column,
+                    nullptr);
+  if (!st.ok()) return st;
+  result.iter_ref_gamma_plus = plus_column.front();
+  return result;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,84 @@
+// Experiment drivers: one per table/figure of the paper's evaluation.
+
+#ifndef ACTIVEITER_EVAL_RUNNERS_H_
+#define ACTIVEITER_EVAL_RUNNERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/eval/experiment.h"
+
+namespace activeiter {
+
+/// Aggregated results of a (methods × sweep-values × folds) grid.
+struct SweepResult {
+  std::string x_label;                 // "NP-ratio θ", "Sample ratio γ", ...
+  std::vector<double> xs;              // sweep values
+  std::vector<std::string> method_names;
+  // aggregates[m][x]: metrics of method m at sweep value x over folds.
+  std::vector<std::vector<MetricAggregate>> aggregates;
+  // mean model seconds per (method, x): used by the scalability figure.
+  std::vector<std::vector<double>> mean_seconds;
+};
+
+/// Common sweep options.
+struct SweepOptions {
+  size_t num_folds = 10;     // paper: 10; benches default lower for speed
+  size_t folds_to_run = 0;   // 0 = all folds
+  uint64_t seed = 1234;
+  ThreadPool* pool = nullptr;
+};
+
+/// Table III: metrics vs NP-ratio θ at fixed γ.
+Result<SweepResult> RunNpRatioSweep(const AlignedPair& pair,
+                                    const std::vector<double>& np_ratios,
+                                    double sample_ratio,
+                                    const std::vector<MethodSpec>& methods,
+                                    const SweepOptions& options);
+
+/// Table IV: metrics vs sample-ratio γ at fixed θ.
+Result<SweepResult> RunSampleRatioSweep(const AlignedPair& pair,
+                                        double np_ratio,
+                                        const std::vector<double>& ratios,
+                                        const std::vector<MethodSpec>& methods,
+                                        const SweepOptions& options);
+
+/// Figure 3: convergence — Δy per external-iteration for several NP-ratios
+/// at sample-ratio 100%.
+struct ConvergenceResult {
+  std::vector<double> np_ratios;
+  std::vector<std::vector<double>> delta_y;  // [ratio][iteration]
+};
+Result<ConvergenceResult> RunConvergenceAnalysis(
+    const AlignedPair& pair, const std::vector<double>& np_ratios,
+    const SweepOptions& options);
+
+/// Figure 4: scalability — ActiveIter-50/100 model wall-clock vs θ.
+struct ScalabilityResult {
+  std::vector<double> np_ratios;
+  std::vector<size_t> candidate_counts;  // |H| per θ
+  std::vector<double> seconds_b50;
+  std::vector<double> seconds_b100;
+};
+Result<ScalabilityResult> RunScalabilityAnalysis(
+    const AlignedPair& pair, const std::vector<double>& np_ratios,
+    const SweepOptions& options);
+
+/// Figure 5: budget sweep of ActiveIter and ActiveIter-Rand at θ, γ, with
+/// Iter-MPMD reference points at γ and γ+10%.
+struct BudgetSweepResult {
+  std::vector<size_t> budgets;
+  std::vector<MetricAggregate> active;        // per budget
+  std::vector<MetricAggregate> active_rand;   // per budget
+  MetricAggregate iter_ref_gamma;             // Iter-MPMD at γ
+  MetricAggregate iter_ref_gamma_plus;        // Iter-MPMD at γ+10%
+};
+Result<BudgetSweepResult> RunBudgetSweep(const AlignedPair& pair,
+                                         double np_ratio, double sample_ratio,
+                                         const std::vector<size_t>& budgets,
+                                         const SweepOptions& options);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_EVAL_RUNNERS_H_

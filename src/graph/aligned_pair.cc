@@ -1,0 +1,86 @@
+#include "src/graph/aligned_pair.h"
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+AlignedPair::AlignedPair(HeteroNetwork first, HeteroNetwork second)
+    : first_(std::move(first)), second_(std::move(second)) {
+  partner_of_first_.assign(first_.NodeCount(NodeType::kUser), -1);
+  partner_of_second_.assign(second_.NodeCount(NodeType::kUser), -1);
+}
+
+Status AlignedPair::AddAnchor(NodeId u1, NodeId u2) {
+  if (u1 >= first_.NodeCount(NodeType::kUser) ||
+      u2 >= second_.NodeCount(NodeType::kUser)) {
+    return Status::OutOfRange(
+        StrFormat("anchor (%u, %u) out of user range", u1, u2));
+  }
+  if (partner_of_first_[u1] != -1) {
+    return Status::FailedPrecondition(StrFormat(
+        "user %u in %s already anchored (one-to-one constraint)", u1,
+        first_.name().c_str()));
+  }
+  if (partner_of_second_[u2] != -1) {
+    return Status::FailedPrecondition(StrFormat(
+        "user %u in %s already anchored (one-to-one constraint)", u2,
+        second_.name().c_str()));
+  }
+  partner_of_first_[u1] = u2;
+  partner_of_second_[u2] = u1;
+  anchors_.push_back({u1, u2});
+  return Status::OK();
+}
+
+bool AlignedPair::IsAnchor(NodeId u1, NodeId u2) const {
+  return u1 < partner_of_first_.size() &&
+         partner_of_first_[u1] == static_cast<int64_t>(u2);
+}
+
+bool AlignedPair::PartnerOfFirst(NodeId u1, NodeId* u2) const {
+  if (u1 >= partner_of_first_.size() || partner_of_first_[u1] < 0) {
+    return false;
+  }
+  *u2 = static_cast<NodeId>(partner_of_first_[u1]);
+  return true;
+}
+
+bool AlignedPair::PartnerOfSecond(NodeId u2, NodeId* u1) const {
+  if (u2 >= partner_of_second_.size() || partner_of_second_[u2] < 0) {
+    return false;
+  }
+  *u1 = static_cast<NodeId>(partner_of_second_[u2]);
+  return true;
+}
+
+SparseMatrix AlignedPair::FullAnchorMatrix() const {
+  return AnchorMatrixFor(anchors_);
+}
+
+SparseMatrix AlignedPair::AnchorMatrixFor(
+    const std::vector<AnchorLink>& subset) const {
+  std::vector<Triplet> trips;
+  trips.reserve(subset.size());
+  for (const auto& a : subset) {
+    ACTIVEITER_CHECK(a.u1 < first_.NodeCount(NodeType::kUser));
+    ACTIVEITER_CHECK(a.u2 < second_.NodeCount(NodeType::kUser));
+    trips.push_back({a.u1, a.u2, 1.0});
+  }
+  return SparseMatrix::FromTriplets(first_.NodeCount(NodeType::kUser),
+                                    second_.NodeCount(NodeType::kUser),
+                                    std::move(trips));
+}
+
+Status AlignedPair::ValidateSharedAttributes() const {
+  for (NodeType t :
+       {NodeType::kWord, NodeType::kLocation, NodeType::kTimestamp}) {
+    if (first_.NodeCount(t) != second_.NodeCount(t)) {
+      return Status::FailedPrecondition(StrFormat(
+          "shared attribute universe mismatch for %s: %zu vs %zu",
+          NodeTypeName(t), first_.NodeCount(t), second_.NodeCount(t)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace activeiter

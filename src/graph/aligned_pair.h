@@ -1,0 +1,76 @@
+// A pair of aligned attributed heterogeneous networks (Definition 2):
+// two HeteroNetworks plus the ground-truth anchor links between their user
+// sets, under the one-to-one cardinality constraint.
+
+#ifndef ACTIVEITER_GRAPH_ALIGNED_PAIR_H_
+#define ACTIVEITER_GRAPH_ALIGNED_PAIR_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/hetero_network.h"
+#include "src/linalg/sparse.h"
+
+namespace activeiter {
+
+/// An anchor link: (user id in network 1, user id in network 2).
+struct AnchorLink {
+  NodeId u1 = 0;
+  NodeId u2 = 0;
+
+  bool operator==(const AnchorLink& other) const {
+    return u1 == other.u1 && u2 == other.u2;
+  }
+  bool operator<(const AnchorLink& other) const {
+    return u1 != other.u1 ? u1 < other.u1 : u2 < other.u2;
+  }
+};
+
+/// Two aligned networks plus anchor ground truth.
+class AlignedPair {
+ public:
+  AlignedPair(HeteroNetwork first, HeteroNetwork second);
+
+  const HeteroNetwork& first() const { return first_; }
+  const HeteroNetwork& second() const { return second_; }
+
+  /// Adds a ground-truth anchor link. Enforces the one-to-one constraint
+  /// and id ranges; violations return FailedPrecondition/OutOfRange.
+  Status AddAnchor(NodeId u1, NodeId u2);
+
+  const std::vector<AnchorLink>& anchors() const { return anchors_; }
+  size_t anchor_count() const { return anchors_.size(); }
+
+  /// True if (u1, u2) is a ground-truth anchor.
+  bool IsAnchor(NodeId u1, NodeId u2) const;
+
+  /// The ground-truth partner of u1 in network 2, or nullopt-like -1.
+  /// Returns false if u1 is not anchored.
+  bool PartnerOfFirst(NodeId u1, NodeId* u2) const;
+  bool PartnerOfSecond(NodeId u2, NodeId* u1) const;
+
+  /// |U1| x |U2| 0/1 matrix over ALL ground-truth anchors.
+  SparseMatrix FullAnchorMatrix() const;
+
+  /// |U1| x |U2| 0/1 matrix restricted to the given subset of anchors —
+  /// the *training* anchor matrix that bridges inter-network meta paths.
+  SparseMatrix AnchorMatrixFor(const std::vector<AnchorLink>& subset) const;
+
+  /// Shared attribute-space sanity check: both sides must have identical
+  /// Word/Location/Timestamp universe sizes (attributes are shared across
+  /// networks per the paper). Returns FailedPrecondition otherwise.
+  Status ValidateSharedAttributes() const;
+
+ private:
+  HeteroNetwork first_;
+  HeteroNetwork second_;
+  std::vector<AnchorLink> anchors_;
+  // -1 = unanchored; else the partner id. Sized lazily to user counts.
+  std::vector<int64_t> partner_of_first_;
+  std::vector<int64_t> partner_of_second_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_ALIGNED_PAIR_H_

@@ -1,0 +1,97 @@
+#include "src/graph/hetero_network.h"
+
+#include "src/common/string_util.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+
+HeteroNetwork::HeteroNetwork(NetworkSchema schema, std::string name)
+    : schema_(std::move(schema)), name_(std::move(name)) {}
+
+NodeId HeteroNetwork::AddNodes(NodeType type, size_t count) {
+  ACTIVEITER_CHECK_MSG(schema_.HasNodeType(type), "node type not in schema");
+  size_t& slot = node_counts_[static_cast<size_t>(type)];
+  NodeId first = static_cast<NodeId>(slot);
+  slot += count;
+  return first;
+}
+
+size_t HeteroNetwork::NodeCount(NodeType type) const {
+  return node_counts_[static_cast<size_t>(type)];
+}
+
+Status HeteroNetwork::AddEdge(RelationType relation, NodeId src, NodeId dst) {
+  if (!schema_.HasRelation(relation)) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s not in schema", RelationTypeName(relation)));
+  }
+  size_t src_count = NodeCount(RelationSourceType(relation));
+  size_t dst_count = NodeCount(RelationTargetType(relation));
+  if (src >= src_count || dst >= dst_count) {
+    return Status::OutOfRange(StrFormat(
+        "edge (%u -> %u) out of range for relation %s (%zu x %zu)", src, dst,
+        RelationTypeName(relation), src_count, dst_count));
+  }
+  edges_[static_cast<size_t>(relation)].emplace_back(src, dst);
+  return Status::OK();
+}
+
+size_t HeteroNetwork::EdgeCount(RelationType relation) const {
+  return edges_[static_cast<size_t>(relation)].size();
+}
+
+const std::vector<std::pair<NodeId, NodeId>>& HeteroNetwork::Edges(
+    RelationType relation) const {
+  return edges_[static_cast<size_t>(relation)];
+}
+
+SparseMatrix HeteroNetwork::AdjacencyMatrix(RelationType relation) const {
+  size_t rows = NodeCount(RelationSourceType(relation));
+  size_t cols = NodeCount(RelationTargetType(relation));
+  std::vector<Triplet> trips;
+  const auto& list = edges_[static_cast<size_t>(relation)];
+  trips.reserve(list.size());
+  for (const auto& [src, dst] : list) {
+    trips.push_back({src, dst, 1.0});
+  }
+  SparseMatrix raw = SparseMatrix::FromTriplets(rows, cols, std::move(trips));
+  // Duplicate insertions accumulate counts > 1; adjacency is 0/1.
+  return Binarize(raw);
+}
+
+size_t HeteroNetwork::FollowOutDegree(NodeId u) const {
+  size_t degree = 0;
+  for (const auto& [src, dst] : edges_[static_cast<size_t>(
+           RelationType::kFollow)]) {
+    (void)dst;
+    if (src == u) ++degree;
+  }
+  return degree;
+}
+
+size_t HeteroNetwork::TotalNodeCount() const {
+  size_t total = 0;
+  for (size_t c : node_counts_) total += c;
+  return total;
+}
+
+size_t HeteroNetwork::TotalEdgeCount() const {
+  size_t total = 0;
+  for (const auto& e : edges_) total += e.size();
+  return total;
+}
+
+std::string HeteroNetwork::ToString() const {
+  return StrFormat("%s: users=%zu posts=%zu words=%zu locations=%zu "
+                   "timestamps=%zu follow=%zu write=%zu at=%zu checkin=%zu",
+                   name_.c_str(), NodeCount(NodeType::kUser),
+                   NodeCount(NodeType::kPost), NodeCount(NodeType::kWord),
+                   NodeCount(NodeType::kLocation),
+                   NodeCount(NodeType::kTimestamp),
+                   EdgeCount(RelationType::kFollow),
+                   EdgeCount(RelationType::kWrite),
+                   EdgeCount(RelationType::kAt),
+                   EdgeCount(RelationType::kCheckin));
+}
+
+}  // namespace activeiter

@@ -1,0 +1,77 @@
+// Storage for one attributed heterogeneous social network (Definition 1).
+//
+// Nodes of each type live in their own contiguous id space [0, count).
+// Edges are stored per relation type as (src, dst) pairs and can be
+// exported as CSR adjacency matrices, which is the representation the
+// meta-diagram engine consumes.
+
+#ifndef ACTIVEITER_GRAPH_HETERO_NETWORK_H_
+#define ACTIVEITER_GRAPH_HETERO_NETWORK_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/schema.h"
+#include "src/graph/types.h"
+#include "src/linalg/sparse.h"
+
+namespace activeiter {
+
+/// One heterogeneous network: typed node counts + typed edge lists.
+class HeteroNetwork {
+ public:
+  /// Creates a network with the given schema and a human-readable name
+  /// (e.g. "twitter-like").
+  explicit HeteroNetwork(NetworkSchema schema, std::string name = "network");
+
+  const NetworkSchema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+
+  /// Declares `count` nodes of `type`; returns the first new id.
+  /// Repeated calls append to the id space.
+  NodeId AddNodes(NodeType type, size_t count);
+
+  /// Number of nodes of `type`.
+  size_t NodeCount(NodeType type) const;
+
+  /// Adds a typed edge. Endpoint types are dictated by the relation; ids
+  /// must be in range (checked). Duplicate edges are allowed at insertion
+  /// and deduplicated when building adjacency matrices.
+  Status AddEdge(RelationType relation, NodeId src, NodeId dst);
+
+  /// Number of stored edges of `relation` (including duplicates).
+  size_t EdgeCount(RelationType relation) const;
+
+  /// Raw edge list of `relation`.
+  const std::vector<std::pair<NodeId, NodeId>>& Edges(
+      RelationType relation) const;
+
+  /// Returns the 0/1 adjacency matrix of `relation`
+  /// (rows = source type ids, cols = target type ids, deduplicated).
+  SparseMatrix AdjacencyMatrix(RelationType relation) const;
+
+  /// Out-degree of user `u` in the follow relation.
+  size_t FollowOutDegree(NodeId u) const;
+
+  /// Total nodes across all types.
+  size_t TotalNodeCount() const;
+
+  /// Total edges across all relations.
+  size_t TotalEdgeCount() const;
+
+  std::string ToString() const;
+
+ private:
+  NetworkSchema schema_;
+  std::string name_;
+  std::array<size_t, kNumNodeTypes> node_counts_{};
+  std::array<std::vector<std::pair<NodeId, NodeId>>, kNumRelationTypes>
+      edges_{};
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_HETERO_NETWORK_H_

@@ -1,0 +1,113 @@
+#include "src/graph/incidence.h"
+
+#include <algorithm>
+
+namespace activeiter {
+
+size_t CandidateLinkSet::Add(NodeId u1, NodeId u2) {
+  links_.emplace_back(u1, u2);
+  return links_.size() - 1;
+}
+
+IncidenceIndex::IncidenceIndex(const AlignedPair& pair,
+                               const CandidateLinkSet& candidates)
+    : candidates_(&candidates),
+      users_first_(pair.first().NodeCount(NodeType::kUser)),
+      users_second_(pair.second().NodeCount(NodeType::kUser)),
+      by_first_(users_first_),
+      by_second_(users_second_) {
+  for (size_t id = 0; id < candidates.size(); ++id) {
+    const auto& [u1, u2] = candidates.link(id);
+    ACTIVEITER_CHECK_MSG(u1 < users_first_ && u2 < users_second_,
+                         "candidate link endpoint out of range");
+    by_first_[u1].push_back(id);
+    by_second_[u2].push_back(id);
+  }
+}
+
+const std::vector<size_t>& IncidenceIndex::LinksOfFirst(NodeId u1) const {
+  ACTIVEITER_CHECK(u1 < users_first_);
+  return by_first_[u1];
+}
+
+const std::vector<size_t>& IncidenceIndex::LinksOfSecond(NodeId u2) const {
+  ACTIVEITER_CHECK(u2 < users_second_);
+  return by_second_[u2];
+}
+
+std::vector<size_t> IncidenceIndex::ConflictingLinks(size_t link_id) const {
+  const auto& [u1, u2] = candidates_->link(link_id);
+  std::vector<size_t> out;
+  for (size_t other : by_first_[u1]) {
+    if (other != link_id) out.push_back(other);
+  }
+  for (size_t other : by_second_[u2]) {
+    if (other != link_id &&
+        std::find(out.begin(), out.end(), other) == out.end()) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+SparseMatrix IncidenceIndex::FirstIncidenceMatrix() const {
+  std::vector<Triplet> trips;
+  trips.reserve(candidates_->size());
+  for (size_t id = 0; id < candidates_->size(); ++id) {
+    trips.push_back({candidates_->link(id).first, static_cast<uint32_t>(id),
+                     1.0});
+  }
+  return SparseMatrix::FromTriplets(users_first_, candidates_->size(),
+                                    std::move(trips));
+}
+
+SparseMatrix IncidenceIndex::SecondIncidenceMatrix() const {
+  std::vector<Triplet> trips;
+  trips.reserve(candidates_->size());
+  for (size_t id = 0; id < candidates_->size(); ++id) {
+    trips.push_back({candidates_->link(id).second, static_cast<uint32_t>(id),
+                     1.0});
+  }
+  return SparseMatrix::FromTriplets(users_second_, candidates_->size(),
+                                    std::move(trips));
+}
+
+Vector IncidenceIndex::FirstDegrees(const Vector& y) const {
+  ACTIVEITER_CHECK(y.size() == candidates_->size());
+  Vector d(users_first_);
+  for (size_t id = 0; id < candidates_->size(); ++id) {
+    d(candidates_->link(id).first) += y(id);
+  }
+  return d;
+}
+
+Vector IncidenceIndex::SecondDegrees(const Vector& y) const {
+  ACTIVEITER_CHECK(y.size() == candidates_->size());
+  Vector d(users_second_);
+  for (size_t id = 0; id < candidates_->size(); ++id) {
+    d(candidates_->link(id).second) += y(id);
+  }
+  return d;
+}
+
+bool IncidenceIndex::SatisfiesOneToOne(const Vector& y) const {
+  return SatisfiesCardinality(y, 1, 1);
+}
+
+bool IncidenceIndex::SatisfiesCardinality(const Vector& y,
+                                          size_t capacity_first,
+                                          size_t capacity_second) const {
+  Vector d1 = FirstDegrees(y);
+  Vector d2 = SecondDegrees(y);
+  double cap1 = static_cast<double>(capacity_first);
+  double cap2 = static_cast<double>(capacity_second);
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1(i) < -1e-9 || d1(i) > cap1 + 1e-9) return false;
+  }
+  for (size_t i = 0; i < d2.size(); ++i) {
+    if (d2(i) < -1e-9 || d2(i) > cap2 + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace activeiter

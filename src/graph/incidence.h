@@ -1,0 +1,98 @@
+// Candidate link sets and user-node/anchor-link incidence structure.
+//
+// The cardinality constraint of the paper (§III-C.4) is expressed through
+// the incidence matrices A(1) ∈ {0,1}^{|U1|×|H|} and A(2) ∈ {0,1}^{|U2|×|H|}:
+// the one-to-one constraint is 0 ≤ A(i)·y ≤ 1. This module builds those
+// matrices and the conflict lookup (links sharing an endpoint) that both the
+// greedy selector and the active query strategy need.
+
+#ifndef ACTIVEITER_GRAPH_INCIDENCE_H_
+#define ACTIVEITER_GRAPH_INCIDENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/graph/aligned_pair.h"
+#include "src/graph/types.h"
+#include "src/linalg/sparse.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// The candidate anchor-link set H of one experiment: an ordered list of
+/// (u1, u2) pairs. Index into this list is the "link id" used everywhere
+/// downstream (feature rows, label vector y, incidence columns).
+class CandidateLinkSet {
+ public:
+  CandidateLinkSet() = default;
+
+  /// Appends a candidate link and returns its link id.
+  size_t Add(NodeId u1, NodeId u2);
+
+  size_t size() const { return links_.size(); }
+  bool empty() const { return links_.empty(); }
+
+  const std::pair<NodeId, NodeId>& link(size_t id) const {
+    ACTIVEITER_CHECK(id < links_.size());
+    return links_[id];
+  }
+  const std::vector<std::pair<NodeId, NodeId>>& links() const {
+    return links_;
+  }
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> links_;
+};
+
+/// Incidence structure of a candidate set: per-user link lists plus the
+/// sparse incidence matrices of the paper.
+class IncidenceIndex {
+ public:
+  /// Builds the index; user universes sized from the aligned pair.
+  IncidenceIndex(const AlignedPair& pair, const CandidateLinkSet& candidates);
+
+  /// All candidate link ids incident to user u1 of network 1 / u2 of net 2.
+  const std::vector<size_t>& LinksOfFirst(NodeId u1) const;
+  const std::vector<size_t>& LinksOfSecond(NodeId u2) const;
+
+  /// Link ids that conflict with `link_id` (share either endpoint),
+  /// excluding `link_id` itself. Order: first-side conflicts then
+  /// second-side conflicts, each in insertion order, deduplicated.
+  std::vector<size_t> ConflictingLinks(size_t link_id) const;
+
+  /// A(1): |U1| × |H| incidence matrix.
+  SparseMatrix FirstIncidenceMatrix() const;
+
+  /// A(2): |U2| × |H| incidence matrix.
+  SparseMatrix SecondIncidenceMatrix() const;
+
+  /// Degree vectors d(i) = A(i)·y for a label vector y over H.
+  Vector FirstDegrees(const Vector& y) const;
+  Vector SecondDegrees(const Vector& y) const;
+
+  /// True iff 0 ≤ A(1)y ≤ 1 and 0 ≤ A(2)y ≤ 1 (the one-to-one constraint).
+  bool SatisfiesOneToOne(const Vector& y) const;
+
+  /// Generalised check: 0 ≤ A(1)y ≤ cap1 and 0 ≤ A(2)y ≤ cap2.
+  bool SatisfiesCardinality(const Vector& y, size_t capacity_first,
+                            size_t capacity_second) const;
+
+  size_t candidate_count() const { return candidates_->size(); }
+
+  /// The candidate set this index was built over.
+  const CandidateLinkSet& candidates() const { return *candidates_; }
+
+  size_t users_first() const { return users_first_; }
+  size_t users_second() const { return users_second_; }
+
+ private:
+  const CandidateLinkSet* candidates_;
+  size_t users_first_ = 0;
+  size_t users_second_ = 0;
+  std::vector<std::vector<size_t>> by_first_;
+  std::vector<std::vector<size_t>> by_second_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_INCIDENCE_H_

@@ -1,0 +1,168 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+namespace {
+
+constexpr const char kMagic[] = "activeiter-aligned-pair v1";
+
+const RelationType kAllRelations[] = {
+    RelationType::kFollow, RelationType::kWrite, RelationType::kAt,
+    RelationType::kCheckin, RelationType::kContain};
+
+const NodeType kAllNodeTypes[] = {NodeType::kUser, NodeType::kPost,
+                                  NodeType::kWord, NodeType::kLocation,
+                                  NodeType::kTimestamp};
+
+void SaveNetwork(const HeteroNetwork& net, std::ostream* out) {
+  *out << "network " << net.name() << "\n";
+  *out << "nodes";
+  for (NodeType t : kAllNodeTypes) *out << ' ' << net.NodeCount(t);
+  *out << "\n";
+  for (RelationType r : kAllRelations) {
+    const auto& edges = net.Edges(r);
+    *out << "edges " << RelationTypeName(r) << ' ' << edges.size() << "\n";
+    for (const auto& [src, dst] : edges) {
+      *out << src << ' ' << dst << "\n";
+    }
+  }
+}
+
+Result<RelationType> ParseRelation(const std::string& token) {
+  for (RelationType r : kAllRelations) {
+    if (token == RelationTypeName(r)) return r;
+  }
+  return Status::InvalidArgument("unknown relation: " + token);
+}
+
+Result<HeteroNetwork> LoadNetwork(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || !StartsWith(line, "network ")) {
+    return Status::InvalidArgument("expected 'network <name>' line");
+  }
+  HeteroNetwork net(NetworkSchema::SocialNetwork(), line.substr(8));
+
+  if (!std::getline(*in, line) || !StartsWith(line, "nodes")) {
+    return Status::InvalidArgument("expected 'nodes ...' line");
+  }
+  {
+    std::istringstream fields(line.substr(5));
+    for (NodeType t : kAllNodeTypes) {
+      size_t count = 0;
+      if (!(fields >> count)) {
+        return Status::InvalidArgument("nodes line needs 5 counts");
+      }
+      net.AddNodes(t, count);
+    }
+  }
+
+  for (RelationType expected : kAllRelations) {
+    if (!std::getline(*in, line) || !StartsWith(line, "edges ")) {
+      return Status::InvalidArgument("expected 'edges <relation> <count>'");
+    }
+    std::istringstream header(line.substr(6));
+    std::string rel_name;
+    size_t count = 0;
+    if (!(header >> rel_name >> count)) {
+      return Status::InvalidArgument("malformed edges header: " + line);
+    }
+    auto rel = ParseRelation(rel_name);
+    if (!rel.ok()) return rel.status();
+    if (rel.value() != expected) {
+      return Status::InvalidArgument(
+          StrFormat("edge sections out of order: expected %s, got %s",
+                    RelationTypeName(expected), rel_name.c_str()));
+    }
+    for (size_t e = 0; e < count; ++e) {
+      if (!std::getline(*in, line)) {
+        return Status::InvalidArgument("edge list truncated");
+      }
+      std::istringstream edge(line);
+      NodeId src = 0, dst = 0;
+      if (!(edge >> src >> dst)) {
+        return Status::InvalidArgument("malformed edge line: " + line);
+      }
+      ACTIVEITER_RETURN_IF_ERROR(net.AddEdge(rel.value(), src, dst));
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+void SaveAlignedPair(const AlignedPair& pair, std::ostream* out) {
+  ACTIVEITER_CHECK(out != nullptr);
+  *out << kMagic << "\n";
+  SaveNetwork(pair.first(), out);
+  SaveNetwork(pair.second(), out);
+  *out << "anchors " << pair.anchor_count() << "\n";
+  for (const auto& a : pair.anchors()) {
+    *out << a.u1 << ' ' << a.u2 << "\n";
+  }
+}
+
+Result<AlignedPair> LoadAlignedPair(std::istream* in) {
+  ACTIVEITER_CHECK(in != nullptr);
+  std::string line;
+  if (!std::getline(*in, line) || line != kMagic) {
+    return Status::InvalidArgument("bad magic line (not an aligned pair)");
+  }
+  auto first = LoadNetwork(in);
+  if (!first.ok()) return first.status();
+  auto second = LoadNetwork(in);
+  if (!second.ok()) return second.status();
+
+  AlignedPair pair(std::move(first).value(), std::move(second).value());
+  if (!std::getline(*in, line) || !StartsWith(line, "anchors ")) {
+    return Status::InvalidArgument("expected 'anchors <count>'");
+  }
+  size_t count = 0;
+  {
+    std::istringstream header(line.substr(8));
+    if (!(header >> count)) {
+      return Status::InvalidArgument("malformed anchors header");
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(*in, line)) {
+      return Status::InvalidArgument("anchor list truncated");
+    }
+    std::istringstream anchor(line);
+    NodeId u1 = 0, u2 = 0;
+    if (!(anchor >> u1 >> u2)) {
+      return Status::InvalidArgument("malformed anchor line: " + line);
+    }
+    ACTIVEITER_RETURN_IF_ERROR(pair.AddAnchor(u1, u2));
+  }
+  return pair;
+}
+
+Status SaveAlignedPairToFile(const AlignedPair& pair,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  SaveAlignedPair(pair, &out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<AlignedPair> LoadAlignedPairFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return LoadAlignedPair(&in);
+}
+
+}  // namespace activeiter

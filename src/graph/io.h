@@ -1,0 +1,46 @@
+// Text serialization of aligned network pairs.
+//
+// A small line-oriented format so users can persist generated datasets or
+// load their own crawls into the library:
+//
+//   activeiter-aligned-pair v1
+//   network <name>
+//   nodes <User> <Post> <Word> <Location> <Timestamp>
+//   edges <relation> <count>
+//   <src> <dst>
+//   ...
+//   network <name>            (second network, same layout)
+//   ...
+//   anchors <count>
+//   <u1> <u2>
+//   ...
+//
+// All ids are the type-local contiguous ids used throughout the library.
+
+#ifndef ACTIVEITER_GRAPH_IO_H_
+#define ACTIVEITER_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+
+/// Writes the pair to a stream. Always succeeds on a healthy stream.
+void SaveAlignedPair(const AlignedPair& pair, std::ostream* out);
+
+/// Parses a pair from a stream. Returns InvalidArgument on malformed
+/// input (bad magic, counts out of range, edges violating the schema,
+/// anchors violating the one-to-one constraint, ...).
+Result<AlignedPair> LoadAlignedPair(std::istream* in);
+
+/// File-path conveniences.
+Status SaveAlignedPairToFile(const AlignedPair& pair,
+                             const std::string& path);
+Result<AlignedPair> LoadAlignedPairFromFile(const std::string& path);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_IO_H_

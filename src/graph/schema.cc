@@ -1,0 +1,127 @@
+#include "src/graph/schema.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kUser:
+      return "User";
+    case NodeType::kPost:
+      return "Post";
+    case NodeType::kWord:
+      return "Word";
+    case NodeType::kLocation:
+      return "Location";
+    case NodeType::kTimestamp:
+      return "Timestamp";
+  }
+  return "?";
+}
+
+const char* RelationTypeName(RelationType type) {
+  switch (type) {
+    case RelationType::kFollow:
+      return "follow";
+    case RelationType::kWrite:
+      return "write";
+    case RelationType::kAt:
+      return "at";
+    case RelationType::kCheckin:
+      return "checkin";
+    case RelationType::kContain:
+      return "contain";
+  }
+  return "?";
+}
+
+NodeType RelationSourceType(RelationType type) {
+  switch (type) {
+    case RelationType::kFollow:
+    case RelationType::kWrite:
+      return NodeType::kUser;
+    case RelationType::kAt:
+    case RelationType::kCheckin:
+    case RelationType::kContain:
+      return NodeType::kPost;
+  }
+  return NodeType::kUser;
+}
+
+NodeType RelationTargetType(RelationType type) {
+  switch (type) {
+    case RelationType::kFollow:
+      return NodeType::kUser;
+    case RelationType::kWrite:
+      return NodeType::kPost;
+    case RelationType::kAt:
+      return NodeType::kTimestamp;
+    case RelationType::kCheckin:
+      return NodeType::kLocation;
+    case RelationType::kContain:
+      return NodeType::kWord;
+  }
+  return NodeType::kUser;
+}
+
+NetworkSchema NetworkSchema::SocialNetwork() {
+  NetworkSchema s;
+  s.node_types_ = {NodeType::kUser, NodeType::kPost, NodeType::kWord,
+                   NodeType::kLocation, NodeType::kTimestamp};
+  s.relation_types_ = {RelationType::kFollow, RelationType::kWrite,
+                       RelationType::kAt, RelationType::kCheckin,
+                       RelationType::kContain};
+  return s;
+}
+
+NetworkSchema NetworkSchema::UsersOnly() {
+  NetworkSchema s;
+  s.node_types_ = {NodeType::kUser};
+  s.relation_types_ = {RelationType::kFollow};
+  return s;
+}
+
+bool NetworkSchema::HasNodeType(NodeType type) const {
+  return std::find(node_types_.begin(), node_types_.end(), type) !=
+         node_types_.end();
+}
+
+bool NetworkSchema::HasRelation(RelationType type) const {
+  return std::find(relation_types_.begin(), relation_types_.end(), type) !=
+         relation_types_.end();
+}
+
+Status NetworkSchema::ValidateStep(NodeType src, RelationType relation,
+                                   NodeType dst, bool forward) const {
+  if (!HasRelation(relation)) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s not in schema", RelationTypeName(relation)));
+  }
+  NodeType expect_src = forward ? RelationSourceType(relation)
+                                : RelationTargetType(relation);
+  NodeType expect_dst = forward ? RelationTargetType(relation)
+                                : RelationSourceType(relation);
+  if (src != expect_src || dst != expect_dst) {
+    return Status::InvalidArgument(StrFormat(
+        "relation %s does not connect %s -> %s (direction %s)",
+        RelationTypeName(relation), NodeTypeName(src), NodeTypeName(dst),
+        forward ? "forward" : "reverse"));
+  }
+  if (!HasNodeType(src) || !HasNodeType(dst)) {
+    return Status::InvalidArgument("endpoint node type not in schema");
+  }
+  return Status::OK();
+}
+
+std::string NetworkSchema::ToString() const {
+  std::vector<std::string> nodes, rels;
+  for (auto t : node_types_) nodes.push_back(NodeTypeName(t));
+  for (auto r : relation_types_) rels.push_back(RelationTypeName(r));
+  return "Schema(nodes=[" + Join(nodes, ", ") + "], relations=[" +
+         Join(rels, ", ") + "])";
+}
+
+}  // namespace activeiter

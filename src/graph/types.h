@@ -1,0 +1,57 @@
+// Typed identifiers for nodes, relations and networks.
+//
+// The attributed heterogeneous social network of the paper (Definition 1)
+// contains node types {User, Post} plus attribute types {Word, Location,
+// Timestamp}, and relation types {follow, write, at, checkin} plus the
+// cross-network {anchor}. Attribute values are modelled as first-class
+// nodes (as in the aligned network schema of Figure 2), which makes every
+// meta-path segment an adjacency matrix.
+
+#ifndef ACTIVEITER_GRAPH_TYPES_H_
+#define ACTIVEITER_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace activeiter {
+
+/// Node (and attribute) types of the aligned network schema.
+enum class NodeType : uint8_t {
+  kUser = 0,
+  kPost = 1,
+  kWord = 2,
+  kLocation = 3,
+  kTimestamp = 4,
+};
+
+inline constexpr int kNumNodeTypes = 5;
+
+/// Intra-network relation types. The inter-network `anchor` relation is
+/// handled separately by AlignedPair since it connects two networks.
+enum class RelationType : uint8_t {
+  kFollow = 0,   // User -> User (directed)
+  kWrite = 1,    // User -> Post
+  kAt = 2,       // Post -> Timestamp
+  kCheckin = 3,  // Post -> Location
+  kContain = 4,  // Post -> Word
+};
+
+inline constexpr int kNumRelationTypes = 5;
+
+/// Index of a node within its type's contiguous id space.
+using NodeId = uint32_t;
+
+/// Which side of the aligned pair a network occupies.
+enum class NetworkSide : uint8_t { kFirst = 0, kSecond = 1 };
+
+/// Human-readable names ("User", "follow", ...).
+const char* NodeTypeName(NodeType type);
+const char* RelationTypeName(RelationType type);
+
+/// Source/target node types of each relation per the schema.
+NodeType RelationSourceType(RelationType type);
+NodeType RelationTargetType(RelationType type);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_TYPES_H_

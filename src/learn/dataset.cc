@@ -1,0 +1,47 @@
+#include "src/learn/dataset.h"
+
+#include "src/common/status.h"
+
+namespace activeiter {
+
+size_t Dataset::CountPositives() const {
+  size_t count = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y(i) > 0.5) ++count;
+  }
+  return count;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.x = Matrix(rows.size(), x.cols());
+  out.y = Vector(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    size_t src = rows[r];
+    ACTIVEITER_CHECK(src < x.rows());
+    for (size_t j = 0; j < x.cols(); ++j) out.x(r, j) = x(src, j);
+    out.y(r) = y(src);
+  }
+  return out;
+}
+
+Dataset Dataset::Concat(const Dataset& a, const Dataset& b) {
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  ACTIVEITER_CHECK_MSG(a.x.cols() == b.x.cols(),
+                       "Concat feature dimensions differ");
+  Dataset out;
+  out.x = Matrix(a.size() + b.size(), a.x.cols());
+  out.y = Vector(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.x.cols(); ++j) out.x(i, j) = a.x(i, j);
+    out.y(i) = a.y(i);
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    for (size_t j = 0; j < b.x.cols(); ++j) out.x(a.size() + i, j) = b.x(i, j);
+    out.y(a.size() + i) = b.y(i);
+  }
+  return out;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,32 @@
+// A labeled dataset: feature matrix X plus {0,+1} label vector y.
+
+#ifndef ACTIVEITER_LEARN_DATASET_H_
+#define ACTIVEITER_LEARN_DATASET_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// Rows of X correspond to entries of y; labels are 0 or +1.
+struct Dataset {
+  Matrix x;
+  Vector y;
+
+  size_t size() const { return x.rows(); }
+
+  /// Number of rows with label +1 (y > 0.5).
+  size_t CountPositives() const;
+
+  /// Selects the given rows into a new dataset (indices checked).
+  Dataset Subset(const std::vector<size_t>& rows) const;
+
+  /// Stacks two datasets with identical feature dimensions.
+  static Dataset Concat(const Dataset& a, const Dataset& b);
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LEARN_DATASET_H_

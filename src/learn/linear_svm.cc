@@ -1,0 +1,96 @@
+#include "src/learn/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace activeiter {
+
+Result<LinearSvm> LinearSvm::Train(const Dataset& data,
+                                   const SvmOptions& options) {
+  const size_t n = data.x.rows();
+  const size_t d = data.x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.y.size() != n) {
+    return Status::InvalidArgument("label/feature row mismatch");
+  }
+  if (options.c <= 0.0 || options.positive_weight <= 0.0) {
+    return Status::InvalidArgument("SVM C and positive_weight must be > 0");
+  }
+
+  // Map labels to ±1 and precompute per-instance data.
+  std::vector<double> label(n);
+  std::vector<double> upper(n);
+  std::vector<double> q_ii(n);  // xᵢ·xᵢ
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = data.y(i) > 0.5;
+    label[i] = positive ? 1.0 : -1.0;
+    upper[i] = positive ? options.c * options.positive_weight : options.c;
+    const double* row = data.x.row_data(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < d; ++j) acc += row[j] * row[j];
+    q_ii[i] = acc;
+  }
+
+  Vector w(d);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(options.seed);
+
+  size_t epoch = 0;
+  for (; epoch < options.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double max_violation = 0.0;
+    for (size_t idx : order) {
+      if (q_ii[idx] <= 0.0) continue;  // all-zero row carries no signal
+      const double* row = data.x.row_data(idx);
+      double wx = 0.0;
+      for (size_t j = 0; j < d; ++j) wx += w(j) * row[j];
+      double grad = label[idx] * wx - 1.0;
+
+      // Projected gradient for the box constraint 0 <= alpha <= upper.
+      double pg = grad;
+      if (alpha[idx] <= 0.0) pg = std::min(grad, 0.0);
+      else if (alpha[idx] >= upper[idx]) pg = std::max(grad, 0.0);
+      max_violation = std::max(max_violation, std::abs(pg));
+      if (pg == 0.0) continue;
+
+      double old_alpha = alpha[idx];
+      alpha[idx] =
+          std::clamp(old_alpha - grad / q_ii[idx], 0.0, upper[idx]);
+      double delta = (alpha[idx] - old_alpha) * label[idx];
+      if (delta != 0.0) {
+        for (size_t j = 0; j < d; ++j) w(j) += delta * row[j];
+      }
+    }
+    if (max_violation < options.tolerance) {
+      ++epoch;
+      break;
+    }
+  }
+  return LinearSvm(std::move(w), epoch);
+}
+
+double LinearSvm::Decision(const Vector& features) const {
+  return w_.Dot(features);
+}
+
+double LinearSvm::PredictRow(const Matrix& x, size_t row) const {
+  ACTIVEITER_CHECK(row < x.rows() && x.cols() == w_.size());
+  const double* r = x.row_data(row);
+  double acc = 0.0;
+  for (size_t j = 0; j < w_.size(); ++j) acc += w_(j) * r[j];
+  return acc > 0.0 ? 1.0 : 0.0;
+}
+
+Vector LinearSvm::Predict(const Matrix& x) const {
+  Vector out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out(i) = PredictRow(x, i);
+  return out;
+}
+
+}  // namespace activeiter

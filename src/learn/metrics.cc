@@ -1,0 +1,92 @@
+#include "src/learn/metrics.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+double BinaryMetrics::Precision() const {
+  size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double BinaryMetrics::Recall() const {
+  size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double BinaryMetrics::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryMetrics::Accuracy() const {
+  size_t total = Total();
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+std::string BinaryMetrics::ToString() const {
+  return StrFormat("tp=%zu fp=%zu tn=%zu fn=%zu F1=%.4f P=%.4f R=%.4f A=%.4f",
+                   tp, fp, tn, fn, F1(), Precision(), Recall(), Accuracy());
+}
+
+BinaryMetrics ComputeBinaryMetrics(const Vector& truth,
+                                   const Vector& prediction) {
+  ACTIVEITER_CHECK(truth.size() == prediction.size());
+  BinaryMetrics m;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    bool t = truth(i) > 0.5;
+    bool p = prediction(i) > 0.5;
+    if (t && p) ++m.tp;
+    else if (!t && p) ++m.fp;
+    else if (t && !p) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
+}
+
+BinaryMetrics ComputeBinaryMetricsOn(const Vector& truth,
+                                     const Vector& prediction,
+                                     const std::vector<size_t>& eval_indices) {
+  ACTIVEITER_CHECK(truth.size() == prediction.size());
+  BinaryMetrics m;
+  for (size_t i : eval_indices) {
+    ACTIVEITER_CHECK(i < truth.size());
+    bool t = truth(i) > 0.5;
+    bool p = prediction(i) > 0.5;
+    if (t && p) ++m.tp;
+    else if (!t && p) ++m.fp;
+    else if (t && !p) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
+}
+
+void MeanStd::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double MeanStd::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double MeanStd::Std() const {
+  if (count_ == 0) return 0.0;
+  double mean = Mean();
+  double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+void MetricAggregate::Add(const BinaryMetrics& m) {
+  f1.Add(m.F1());
+  precision.Add(m.Precision());
+  recall.Add(m.Recall());
+  accuracy.Add(m.Accuracy());
+}
+
+}  // namespace activeiter

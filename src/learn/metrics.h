@@ -1,0 +1,70 @@
+// Binary classification metrics (F1, Precision, Recall, Accuracy) and the
+// mean±std aggregation used to report them over folds, matching the
+// paper's evaluation protocol (§IV-B.3).
+
+#ifndef ACTIVEITER_LEARN_METRICS_H_
+#define ACTIVEITER_LEARN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// Confusion-matrix counts and derived metrics. Degenerate denominators
+/// (no predicted positives / no true positives) yield 0, following the
+/// convention the paper's tables use (e.g. SVM-MP rows collapsing to 0).
+struct BinaryMetrics {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  size_t Total() const { return tp + fp + tn + fn; }
+
+  std::string ToString() const;
+};
+
+/// Computes counts from {0,+1} truth/prediction vectors of equal size.
+BinaryMetrics ComputeBinaryMetrics(const Vector& truth,
+                                   const Vector& prediction);
+
+/// Same, restricted to the index subset `eval_indices` (used to exclude
+/// queried links from the test set, §IV-B.3).
+BinaryMetrics ComputeBinaryMetricsOn(const Vector& truth,
+                                     const Vector& prediction,
+                                     const std::vector<size_t>& eval_indices);
+
+/// Streaming mean/std aggregator (population std, matching the ± column
+/// granularity of the paper's tables).
+class MeanStd {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double Mean() const;
+  double Std() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Aggregated F1/Precision/Recall/Accuracy over repetitions.
+struct MetricAggregate {
+  MeanStd f1;
+  MeanStd precision;
+  MeanStd recall;
+  MeanStd accuracy;
+
+  void Add(const BinaryMetrics& m);
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LEARN_METRICS_H_

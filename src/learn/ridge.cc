@@ -1,0 +1,33 @@
+#include "src/learn/ridge.h"
+
+namespace activeiter {
+
+Result<RidgeSolver> RidgeSolver::Create(const Matrix& x, double c) {
+  if (c <= 0.0) {
+    return Status::InvalidArgument("ridge weight c must be > 0");
+  }
+  Matrix a = x.Gram();        // XᵀX
+  a = a * c;                  // cXᵀX
+  a.AddDiagonal(1.0);         // I + cXᵀX
+  auto factor = CholeskyFactor::Factor(a);
+  if (!factor.ok()) return factor.status();
+  return RidgeSolver(x, c, std::move(factor).value());
+}
+
+Vector RidgeSolver::Solve(const Vector& y) const {
+  ACTIVEITER_CHECK_MSG(y.size() == x_.rows(), "label vector size mismatch");
+  Vector rhs = x_.TransposeMatVec(y);
+  Vector w = factor_.Solve(rhs);
+  w *= c_;
+  return w;
+}
+
+Vector RidgeSolver::Predict(const Vector& w) const { return x_.MatVec(w); }
+
+Result<Vector> FitRidge(const Matrix& x, const Vector& y, double c) {
+  auto solver = RidgeSolver::Create(x, c);
+  if (!solver.ok()) return solver.status();
+  return solver.value().Solve(y);
+}
+
+}  // namespace activeiter

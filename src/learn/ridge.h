@@ -1,0 +1,54 @@
+// Ridge regression in the paper's closed form (§III-D, internal step 1-1):
+//
+//   w = c (I + c XᵀX)⁻¹ Xᵀ y
+//
+// which minimises (c/2)‖Xw − y‖² + (1/2)‖w‖². The alternating optimisation
+// re-solves with a new y every internal iteration while X stays fixed, so
+// RidgeSolver factors (I + cXᵀX) once and reuses the factorisation.
+
+#ifndef ACTIVEITER_LEARN_RIDGE_H_
+#define ACTIVEITER_LEARN_RIDGE_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/linalg/cholesky.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// Factors the ridge normal equations of a fixed design matrix once and
+/// solves for arbitrary label vectors.
+class RidgeSolver {
+ public:
+  /// Builds the solver. `c` is the loss weight (paper's c > 0).
+  /// Fails only if the system is numerically singular (cannot happen for
+  /// c > 0 since I + cXᵀX is SPD, but guarded anyway).
+  static Result<RidgeSolver> Create(const Matrix& x, double c);
+
+  /// w = c (I + cXᵀX)⁻¹ Xᵀ y. `y` must have x.rows() entries.
+  Vector Solve(const Vector& y) const;
+
+  /// Scores ŷ = X w for the design matrix this solver was built from.
+  Vector Predict(const Vector& w) const;
+
+  double c() const { return c_; }
+  size_t num_rows() const { return x_.rows(); }
+  size_t num_features() const { return x_.cols(); }
+
+ private:
+  RidgeSolver(Matrix x, double c, CholeskyFactor factor)
+      : x_(std::move(x)), c_(c), factor_(std::move(factor)) {}
+
+  Matrix x_;
+  double c_;
+  CholeskyFactor factor_;
+};
+
+/// One-shot convenience wrapper.
+Result<Vector> FitRidge(const Matrix& x, const Vector& y, double c);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LEARN_RIDGE_H_

@@ -1,0 +1,75 @@
+#include "src/linalg/cholesky.h"
+
+#include <cmath>
+
+namespace activeiter {
+
+Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::InvalidArgument(
+          "matrix is not positive definite (pivot <= 0)");
+    }
+    double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+Vector CholeskyFactor::Solve(const Vector& b) const {
+  const size_t n = dim();
+  ACTIVEITER_CHECK(b.size() == n);
+  // Forward substitution L z = b.
+  Vector z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b(i);
+    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * z(k);
+    z(i) = acc / l_(i, i);
+  }
+  // Backward substitution Lᵀ x = z.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = z(ii);
+    for (size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x(k);
+    x(ii) = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix CholeskyFactor::SolveMatrix(const Matrix& b) const {
+  ACTIVEITER_CHECK(b.rows() == dim());
+  Matrix out(b.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    Vector col(b.rows());
+    for (size_t i = 0; i < b.rows(); ++i) col(i) = b(i, j);
+    Vector sol = Solve(col);
+    for (size_t i = 0; i < b.rows(); ++i) out(i, j) = sol(i);
+  }
+  return out;
+}
+
+double CholeskyFactor::LogDet() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  auto factor = CholeskyFactor::Factor(a);
+  if (!factor.ok()) return factor.status();
+  return factor.value().Solve(b);
+}
+
+}  // namespace activeiter

@@ -1,0 +1,46 @@
+// Cholesky factorisation and SPD linear solves.
+//
+// Ridge regression (paper §III-D, internal step 1-1) needs
+//   w = c (I + c XᵀX)⁻¹ Xᵀ y,
+// i.e. the solution of an SPD system whose dimension is the feature count
+// (≈32). A plain LLᵀ factorisation is exact, stable for λ > 0, and trivial
+// at this size.
+
+#ifndef ACTIVEITER_LINALG_CHOLESKY_H_
+#define ACTIVEITER_LINALG_CHOLESKY_H_
+
+#include "src/common/status.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// LLᵀ factorisation of a symmetric positive-definite matrix.
+class CholeskyFactor {
+ public:
+  /// Factors `a`. Fails with InvalidArgument if `a` is not square or not
+  /// numerically positive definite.
+  static Result<CholeskyFactor> Factor(const Matrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// log(det(A)) = 2·Σ log L_ii; used by tests as a factorisation probe.
+  double LogDet() const;
+
+  size_t dim() const { return l_.rows(); }
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;  // lower triangular
+};
+
+/// Convenience: solves (A) x = b via Cholesky. `a` must be SPD.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LINALG_CHOLESKY_H_

@@ -1,0 +1,133 @@
+#include "src/linalg/sparse_ops.h"
+
+#include <algorithm>
+
+namespace activeiter {
+
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b) {
+  ACTIVEITER_CHECK_MSG(a.cols() == b.rows(), "SpGemm shape mismatch");
+  const size_t rows = a.rows();
+  const size_t cols = b.cols();
+
+  std::vector<Triplet> out;
+  // Gustavson: for each row of A, scatter scaled rows of B into a dense
+  // accumulator, then gather touched columns.
+  std::vector<double> accum(cols, 0.0);
+  std::vector<uint32_t> touched;
+  touched.reserve(256);
+
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+  const auto& b_ptr = b.row_ptr();
+  const auto& b_col = b.col_idx();
+  const auto& b_val = b.values();
+
+  for (size_t i = 0; i < rows; ++i) {
+    touched.clear();
+    for (size_t ka = a_ptr[i]; ka < a_ptr[i + 1]; ++ka) {
+      const size_t k = a_col[ka];
+      const double av = a_val[ka];
+      for (size_t kb = b_ptr[k]; kb < b_ptr[k + 1]; ++kb) {
+        const uint32_t j = b_col[kb];
+        if (accum[j] == 0.0) touched.push_back(j);
+        accum[j] += av * b_val[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (uint32_t j : touched) {
+      if (accum[j] != 0.0) {
+        out.push_back({static_cast<uint32_t>(i), j, accum[j]});
+      }
+      accum[j] = 0.0;
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(out));
+}
+
+SparseMatrix Transpose(const SparseMatrix& a) {
+  std::vector<Triplet> trips;
+  trips.reserve(a.nnz());
+  a.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back({static_cast<uint32_t>(j), static_cast<uint32_t>(i), v});
+  });
+  return SparseMatrix::FromTriplets(a.cols(), a.rows(), std::move(trips));
+}
+
+SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b) {
+  ACTIVEITER_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                       "Hadamard shape mismatch");
+  std::vector<Triplet> trips;
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+  const auto& b_ptr = b.row_ptr();
+  const auto& b_col = b.col_idx();
+  const auto& b_val = b.values();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    size_t ka = a_ptr[i], kb = b_ptr[i];
+    const size_t ea = a_ptr[i + 1], eb = b_ptr[i + 1];
+    while (ka < ea && kb < eb) {
+      if (a_col[ka] < b_col[kb]) {
+        ++ka;
+      } else if (a_col[ka] > b_col[kb]) {
+        ++kb;
+      } else {
+        double v = a_val[ka] * b_val[kb];
+        if (v != 0.0) {
+          trips.push_back({static_cast<uint32_t>(i), a_col[ka], v});
+        }
+        ++ka;
+        ++kb;
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips));
+}
+
+SparseMatrix Add(const SparseMatrix& a, const SparseMatrix& b) {
+  ACTIVEITER_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                       "Add shape mismatch");
+  std::vector<Triplet> trips;
+  trips.reserve(a.nnz() + b.nnz());
+  a.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), v});
+  });
+  b.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), v});
+  });
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips));
+}
+
+SparseMatrix Scale(const SparseMatrix& a, double alpha) {
+  std::vector<Triplet> trips;
+  trips.reserve(a.nnz());
+  a.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint32_t>(j), v * alpha});
+  });
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips));
+}
+
+Vector SpMv(const SparseMatrix& a, const Vector& x) {
+  ACTIVEITER_CHECK_MSG(a.cols() == x.size(), "SpMv shape mismatch");
+  Vector y(a.rows());
+  a.ForEach([&](size_t i, size_t j, double v) { y(i) += v * x(j); });
+  return y;
+}
+
+SparseMatrix Binarize(const SparseMatrix& a) {
+  std::vector<Triplet> trips;
+  trips.reserve(a.nnz());
+  a.ForEach([&](size_t i, size_t j, double) {
+    trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), 1.0});
+  });
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips));
+}
+
+SparseMatrix MaskBySupport(const SparseMatrix& a,
+                           const SparseMatrix& support) {
+  return Hadamard(a, Binarize(support));
+}
+
+}  // namespace activeiter

@@ -1,0 +1,44 @@
+// Sparse kernels: SpGEMM, transpose, Hadamard product, scaling, SpMV.
+//
+// These are the workhorses of meta-path/meta-diagram counting:
+//   * chain products  (SpGemm)        — concatenating path segments,
+//   * Hadamard        (Hadamard)      — stacking segments on shared nodes,
+//   * transpose       (Transpose)     — reversing edge direction,
+//   * row/col sums    (sparse.h)      — the normaliser of Dice proximity.
+
+#ifndef ACTIVEITER_LINALG_SPARSE_OPS_H_
+#define ACTIVEITER_LINALG_SPARSE_OPS_H_
+
+#include "src/linalg/sparse.h"
+
+namespace activeiter {
+
+/// C = A · B. Classic Gustavson row-by-row algorithm with a dense
+/// accumulator sized to B.cols(). Requires A.cols() == B.rows() (checked).
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b);
+
+/// Aᵀ in CSR, O(nnz + rows + cols).
+SparseMatrix Transpose(const SparseMatrix& a);
+
+/// Elementwise (Hadamard) product; shapes must match (checked).
+SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b);
+
+/// A + B; shapes must match (checked).
+SparseMatrix Add(const SparseMatrix& a, const SparseMatrix& b);
+
+/// alpha · A.
+SparseMatrix Scale(const SparseMatrix& a, double alpha);
+
+/// y = A · x (dense result).
+Vector SpMv(const SparseMatrix& a, const Vector& x);
+
+/// Replaces every stored value with 1.0 (structure/support matrix).
+SparseMatrix Binarize(const SparseMatrix& a);
+
+/// Keeps entry (i,j) of `a` only where `support` stores a nonzero.
+/// This is the Lemma-2 covering-set pruning primitive.
+SparseMatrix MaskBySupport(const SparseMatrix& a, const SparseMatrix& support);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LINALG_SPARSE_OPS_H_

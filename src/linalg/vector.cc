@@ -1,0 +1,77 @@
+#include "src/linalg/vector.h"
+
+#include <cmath>
+
+namespace activeiter {
+
+Vector& Vector::operator+=(const Vector& other) {
+  ACTIVEITER_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  ACTIVEITER_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out += other;
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out -= other;
+  return out;
+}
+
+Vector Vector::operator*(double scalar) const {
+  Vector out = *this;
+  out *= scalar;
+  return out;
+}
+
+double Vector::Dot(const Vector& other) const {
+  ACTIVEITER_CHECK(size() == other.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Vector::Norm1() const {
+  double acc = 0.0;
+  for (double v : data_) acc += std::abs(v);
+  return acc;
+}
+
+double Vector::Norm2() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Vector::NormInf() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+void Vector::Fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+}  // namespace activeiter

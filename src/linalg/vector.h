@@ -1,0 +1,80 @@
+// Dense column vector of doubles.
+//
+// Used for model weights w, label vectors y, score vectors ŷ = Xw, and the
+// degree vectors d = A·y of the cardinality constraint.
+
+#ifndef ACTIVEITER_LINALG_VECTOR_H_
+#define ACTIVEITER_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace activeiter {
+
+/// Dense vector with bounds-checked element access.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero vector of dimension n.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// Constant vector of dimension n.
+  Vector(size_t n, double value) : data_(n, value) {}
+
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  static Vector Zeros(size_t n) { return Vector(n); }
+  static Vector Ones(size_t n) { return Vector(n, 1.0); }
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(size_t i) const {
+    ACTIVEITER_CHECK(i < data_.size());
+    return data_[i];
+  }
+  double& operator()(size_t i) {
+    ACTIVEITER_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  const std::vector<double>& values() const { return data_; }
+
+  /// In-place operations (dimension-checked).
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double scalar) const;
+
+  /// Inner product (dimension-checked).
+  double Dot(const Vector& other) const;
+
+  /// Lp norms used in the paper: L1 for Δy convergence, L2 for ‖w‖².
+  double Norm1() const;
+  double Norm2() const;
+  double NormInf() const;
+
+  /// Sum of entries.
+  double Sum() const;
+
+  /// Resizes, zero-filling new entries.
+  void Resize(size_t n) { data_.resize(n, 0.0); }
+
+  void Fill(double value);
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_LINALG_VECTOR_H_

@@ -1,0 +1,138 @@
+#include "src/metadiagram/covering_set.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+std::string CoveredPath::Signature() const {
+  std::vector<std::string> tokens;
+  tokens.reserve(steps.size());
+  for (const auto& s : steps) tokens.push_back(s.Token());
+  return Join(tokens, ".");
+}
+
+namespace {
+
+std::vector<CoveredPath> Expand(const DiagramNode* node) {
+  switch (node->kind()) {
+    case DiagramNode::Kind::kStep: {
+      CoveredPath p;
+      p.steps.push_back(node->step());
+      p.leaves.push_back(node);
+      return {p};
+    }
+    case DiagramNode::Kind::kChain: {
+      std::vector<CoveredPath> acc = {CoveredPath{}};
+      for (const auto& child : node->children()) {
+        std::vector<CoveredPath> child_paths = Expand(child.get());
+        std::vector<CoveredPath> next;
+        next.reserve(acc.size() * child_paths.size());
+        for (const auto& prefix : acc) {
+          for (const auto& suffix : child_paths) {
+            CoveredPath joined = prefix;
+            joined.steps.insert(joined.steps.end(), suffix.steps.begin(),
+                                suffix.steps.end());
+            joined.leaves.insert(joined.leaves.end(), suffix.leaves.begin(),
+                                 suffix.leaves.end());
+            next.push_back(std::move(joined));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case DiagramNode::Kind::kParallel: {
+      std::vector<CoveredPath> acc;
+      for (const auto& child : node->children()) {
+        for (auto& p : Expand(child.get())) acc.push_back(std::move(p));
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<CoveredPath> EnumerateCoveredPaths(const ExprPtr& root) {
+  ACTIVEITER_CHECK(root != nullptr);
+  std::vector<CoveredPath> paths = Expand(root.get());
+  // Deduplicate by signature, keeping deterministic (sorted) order.
+  std::sort(paths.begin(), paths.end(),
+            [](const CoveredPath& a, const CoveredPath& b) {
+              return a.Signature() < b.Signature();
+            });
+  paths.erase(std::unique(paths.begin(), paths.end(),
+                          [](const CoveredPath& a, const CoveredPath& b) {
+                            return a.Signature() == b.Signature();
+                          }),
+              paths.end());
+  return paths;
+}
+
+std::vector<CoveredPath> MinimumCoveringSet(const MetaDiagram& diagram) {
+  std::vector<CoveredPath> paths = EnumerateCoveredPaths(diagram.root());
+
+  // Universe: all leaf step nodes of the expression.
+  std::set<const DiagramNode*> universe;
+  for (const auto& p : paths) {
+    universe.insert(p.leaves.begin(), p.leaves.end());
+  }
+
+  // Greedy set cover; paths are pre-sorted by signature so ties are stable.
+  std::vector<CoveredPath> chosen;
+  std::set<const DiagramNode*> uncovered = universe;
+  std::vector<bool> used(paths.size(), false);
+  while (!uncovered.empty()) {
+    size_t best = paths.size();
+    size_t best_gain = 0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (used[i]) continue;
+      size_t gain = 0;
+      for (const DiagramNode* leaf : paths[i].leaves) {
+        if (uncovered.count(leaf)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    ACTIVEITER_CHECK_MSG(best < paths.size(),
+                         "covering-set greedy made no progress");
+    used[best] = true;
+    for (const DiagramNode* leaf : paths[best].leaves) {
+      uncovered.erase(leaf);
+    }
+    chosen.push_back(paths[best]);
+  }
+  return chosen;
+}
+
+std::vector<MetaPath> CoveringMetaPaths(const MetaDiagram& diagram) {
+  std::vector<MetaPath> out;
+  std::vector<CoveredPath> covered = EnumerateCoveredPaths(diagram.root());
+  for (size_t i = 0; i < covered.size(); ++i) {
+    auto mp = MetaPath::Create(
+        StrFormat("%s/cover%zu", diagram.id().c_str(), i),
+        "covered path of " + diagram.id(), covered[i].steps);
+    if (mp.ok()) out.push_back(std::move(mp).value());
+  }
+  return out;
+}
+
+bool CoveringSubset(const MetaDiagram& inner, const MetaDiagram& outer) {
+  std::unordered_set<std::string> outer_sigs;
+  for (const auto& p : EnumerateCoveredPaths(outer.root())) {
+    outer_sigs.insert(p.Signature());
+  }
+  for (const auto& p : EnumerateCoveredPaths(inner.root())) {
+    if (!outer_sigs.count(p.Signature())) return false;
+  }
+  return true;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,58 @@
+// Meta diagram covering sets (Definition 7, Lemmas 1 and 2).
+//
+// A diagram covers a set of source→sink meta paths; the *minimum* covering
+// set is the smallest subset of those paths that together traverse every
+// step of the diagram. Lemma 1: a user pair is connected by diagram
+// instances iff it is connected by instances of every covered path. Lemma 2:
+// if C(Ψi) ⊆ C(Ψj), Ψj-connected pairs are Ψi-connected.
+//
+// In this engine the lemmas hold by construction (Parallel = Hadamard), but
+// the covering machinery is exposed so that (a) property tests can verify
+// the lemmas on generated data and (b) support pruning can be applied
+// explicitly when counting expensive diagrams.
+
+#ifndef ACTIVEITER_METADIAGRAM_COVERING_SET_H_
+#define ACTIVEITER_METADIAGRAM_COVERING_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/metadiagram/meta_diagram.h"
+#include "src/metadiagram/meta_path.h"
+
+namespace activeiter {
+
+/// One source→sink path through a diagram expression, remembering which
+/// leaf step nodes of the expression it traverses.
+struct CoveredPath {
+  std::vector<StepRef> steps;
+  std::vector<const DiagramNode*> leaves;  // leaves traversed, in order
+
+  /// Canonical "tok.tok.tok" signature.
+  std::string Signature() const;
+};
+
+/// Enumerates every source→sink path covered by the expression
+/// (cross-product through Chains, union through Parallels). The result is
+/// C(Ψ) before minimisation; size is bounded by the product of Parallel
+/// branch counts.
+std::vector<CoveredPath> EnumerateCoveredPaths(const ExprPtr& root);
+
+/// Greedy minimum covering set: smallest prefix of paths (by greedy set
+/// cover over leaf steps) that traverses every leaf of the diagram.
+/// Deterministic: ties are broken by path signature.
+std::vector<CoveredPath> MinimumCoveringSet(const MetaDiagram& diagram);
+
+/// Converts covered paths into validated MetaPath objects (so that their
+/// count matrices can be computed independently, e.g. in Lemma tests).
+/// Paths that fail inter-network validation are skipped (cannot happen for
+/// diagrams built by the standard catalog).
+std::vector<MetaPath> CoveringMetaPaths(const MetaDiagram& diagram);
+
+/// True if every path signature of `inner` also appears in `outer` —
+/// C(inner) ⊆ C(outer), the premise of Lemma 2.
+bool CoveringSubset(const MetaDiagram& inner, const MetaDiagram& outer);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_COVERING_SET_H_

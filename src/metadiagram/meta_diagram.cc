@@ -1,0 +1,200 @@
+#include "src/metadiagram/meta_diagram.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+namespace {
+
+bool IsSharedAttributeType(NodeType t) {
+  return t != NodeType::kUser && t != NodeType::kPost;
+}
+
+}  // namespace
+
+ExprPtr DiagramBuilder::Step(const StepRef& step) {
+  auto node = std::shared_ptr<DiagramNode>(new DiagramNode());
+  node->kind_ = DiagramNode::Kind::kStep;
+  node->step_ = step;
+  node->source_type_ = step.SourceNodeType();
+  node->target_type_ = step.TargetNodeType();
+  node->source_side_ = step.SourceSide();
+  node->target_side_ = step.TargetSide();
+  node->signature_ = step.Token();
+  return node;
+}
+
+Result<ExprPtr> DiagramBuilder::Chain(std::vector<ExprPtr> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("Chain needs at least one child");
+  }
+  for (size_t i = 0; i + 1 < children.size(); ++i) {
+    NodeType junction = children[i]->target_type();
+    bool shared = IsSharedAttributeType(junction);
+    if (junction != children[i + 1]->source_type() ||
+        (!shared &&
+         children[i]->target_side() != children[i + 1]->source_side())) {
+      return Status::InvalidArgument(StrFormat(
+          "Chain children %zu and %zu do not compose (%s vs %s)", i, i + 1,
+          children[i]->signature().c_str(),
+          children[i + 1]->signature().c_str()));
+    }
+  }
+  if (children.size() == 1) return children[0];
+  auto node = std::shared_ptr<DiagramNode>(new DiagramNode());
+  node->kind_ = DiagramNode::Kind::kChain;
+  node->source_type_ = children.front()->source_type();
+  node->source_side_ = children.front()->source_side();
+  node->target_type_ = children.back()->target_type();
+  node->target_side_ = children.back()->target_side();
+  std::vector<std::string> sigs;
+  sigs.reserve(children.size());
+  for (const auto& c : children) sigs.push_back(c->signature());
+  node->signature_ = "(" + Join(sigs, ".") + ")";
+  node->children_ = std::move(children);
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> DiagramBuilder::Parallel(std::vector<ExprPtr> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("Parallel needs at least one child");
+  }
+  const auto& first = children.front();
+  for (size_t i = 1; i < children.size(); ++i) {
+    const auto& c = children[i];
+    bool src_shared = IsSharedAttributeType(first->source_type());
+    bool dst_shared = IsSharedAttributeType(first->target_type());
+    if (c->source_type() != first->source_type() ||
+        c->target_type() != first->target_type() ||
+        (!src_shared && c->source_side() != first->source_side()) ||
+        (!dst_shared && c->target_side() != first->target_side())) {
+      return Status::InvalidArgument(StrFormat(
+          "Parallel branch %zu endpoints differ (%s vs %s)", i,
+          first->signature().c_str(), c->signature().c_str()));
+    }
+  }
+  // Stacking a branch with itself adds nothing (x ∘ x over the same
+  // instances is the branch itself, instance-wise), so duplicate branches
+  // are collapsed. This also keeps the canonical signature honest:
+  // Parallel is a set of branches, commutative and idempotent.
+  std::vector<ExprPtr> unique_children;
+  for (auto& c : children) {
+    bool seen = false;
+    for (const auto& u : unique_children) {
+      if (u->signature() == c->signature()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique_children.push_back(std::move(c));
+  }
+  if (unique_children.size() == 1) return unique_children[0];
+  auto node = std::shared_ptr<DiagramNode>(new DiagramNode());
+  node->kind_ = DiagramNode::Kind::kParallel;
+  const ExprPtr& head = unique_children.front();
+  node->source_type_ = head->source_type();
+  node->source_side_ = head->source_side();
+  node->target_type_ = head->target_type();
+  node->target_side_ = head->target_side();
+  // Sort signatures so Parallel is canonically commutative.
+  std::vector<std::string> sigs;
+  sigs.reserve(unique_children.size());
+  for (const auto& c : unique_children) sigs.push_back(c->signature());
+  std::sort(sigs.begin(), sigs.end());
+  node->signature_ = "[" + Join(sigs, "|") + "]";
+  node->children_ = std::move(unique_children);
+  return ExprPtr(node);
+}
+
+ExprPtr DiagramBuilder::FromMetaPath(const MetaPath& path) {
+  std::vector<ExprPtr> steps;
+  steps.reserve(path.steps().size());
+  for (const auto& s : path.steps()) steps.push_back(Step(s));
+  auto chain = Chain(std::move(steps));
+  ACTIVEITER_CHECK_MSG(chain.ok(), chain.status().ToString());
+  return std::move(chain).value();
+}
+
+Result<MetaDiagram> MetaDiagram::Create(std::string id, std::string semantics,
+                                        ExprPtr root) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("meta diagram needs an expression");
+  }
+  if (root->source_type() != NodeType::kUser ||
+      root->target_type() != NodeType::kUser) {
+    return Status::InvalidArgument(
+        "meta diagram source/sink must be user node types (Definition 5)");
+  }
+  if (root->source_side() == root->target_side()) {
+    return Status::InvalidArgument(
+        "meta diagram must connect users across networks (Ns != Nt)");
+  }
+  return MetaDiagram(std::move(id), std::move(semantics), std::move(root));
+}
+
+MetaDiagram MetaDiagram::FromMetaPath(const MetaPath& path) {
+  auto r = Create(path.id(), path.semantics(),
+                  DiagramBuilder::FromMetaPath(path));
+  ACTIVEITER_CHECK_MSG(r.ok(), r.status().ToString());
+  return std::move(r).value();
+}
+
+DiagramEvaluator::DiagramEvaluator(const RelationContext* ctx) : ctx_(ctx) {
+  ACTIVEITER_CHECK(ctx != nullptr);
+}
+
+std::shared_ptr<const SparseMatrix> DiagramEvaluator::Lookup(
+    const std::string& sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(sig);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+void DiagramEvaluator::Store(const std::string& sig,
+                             std::shared_ptr<const SparseMatrix> m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(sig, std::move(m));
+}
+
+size_t DiagramEvaluator::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+std::shared_ptr<const SparseMatrix> DiagramEvaluator::Evaluate(
+    const ExprPtr& node) {
+  ACTIVEITER_CHECK(node != nullptr);
+  if (auto hit = Lookup(node->signature())) return hit;
+
+  std::shared_ptr<const SparseMatrix> result;
+  switch (node->kind()) {
+    case DiagramNode::Kind::kStep: {
+      result = std::make_shared<SparseMatrix>(ctx_->Get(node->step()));
+      break;
+    }
+    case DiagramNode::Kind::kChain: {
+      auto acc = Evaluate(node->children().front());
+      SparseMatrix m = *acc;
+      for (size_t i = 1; i < node->children().size(); ++i) {
+        m = SpGemm(m, *Evaluate(node->children()[i]));
+      }
+      result = std::make_shared<SparseMatrix>(std::move(m));
+      break;
+    }
+    case DiagramNode::Kind::kParallel: {
+      auto acc = Evaluate(node->children().front());
+      SparseMatrix m = *acc;
+      for (size_t i = 1; i < node->children().size(); ++i) {
+        m = Hadamard(m, *Evaluate(node->children()[i]));
+      }
+      result = std::make_shared<SparseMatrix>(std::move(m));
+      break;
+    }
+  }
+  Store(node->signature(), result);
+  return result;
+}
+
+}  // namespace activeiter

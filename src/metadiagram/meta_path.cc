@@ -1,0 +1,138 @@
+#include "src/metadiagram/meta_path.h"
+
+#include "src/common/string_util.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+
+Result<MetaPath> MetaPath::Create(std::string id, std::string semantics,
+                                  std::vector<StepRef> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("meta path needs at least one step");
+  }
+  for (size_t i = 0; i + 1 < steps.size(); ++i) {
+    NodeType junction = steps[i].TargetNodeType();
+    // Attribute types (Word/Location/Timestamp) are shared across networks,
+    // so side continuity is only enforced at User/Post junctions.
+    bool shared_junction =
+        junction != NodeType::kUser && junction != NodeType::kPost;
+    if (junction != steps[i + 1].SourceNodeType() ||
+        (!shared_junction &&
+         steps[i].TargetSide() != steps[i + 1].SourceSide())) {
+      return Status::InvalidArgument(StrFormat(
+          "step %zu (%s) does not compose with step %zu (%s)", i,
+          steps[i].Token().c_str(), i + 1, steps[i + 1].Token().c_str()));
+    }
+  }
+  const StepRef& first = steps.front();
+  const StepRef& last = steps.back();
+  if (first.SourceNodeType() != NodeType::kUser ||
+      last.TargetNodeType() != NodeType::kUser) {
+    return Status::InvalidArgument(
+        "inter-network meta path must connect user node types");
+  }
+  if (first.SourceSide() == last.TargetSide()) {
+    return Status::InvalidArgument(
+        "inter-network meta path endpoints must be in different networks "
+        "(N1 != Nn in Definition 4)");
+  }
+  if (first.SourceSide() != NetworkSide::kFirst) {
+    return Status::InvalidArgument(
+        "by convention paths start at network 1; reverse the steps");
+  }
+  return MetaPath(std::move(id), std::move(semantics), std::move(steps));
+}
+
+std::string MetaPath::Signature() const {
+  std::vector<std::string> tokens;
+  tokens.reserve(steps_.size());
+  for (const auto& s : steps_) tokens.push_back(s.Token());
+  return Join(tokens, ".");
+}
+
+SparseMatrix MetaPath::CountMatrix(const RelationContext& ctx) const {
+  SparseMatrix acc = ctx.Get(steps_.front());
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    acc = SpGemm(acc, ctx.Get(steps_[i]));
+  }
+  return acc;
+}
+
+namespace {
+
+MetaPath MustCreate(const char* id, const char* semantics,
+                    std::vector<StepRef> steps) {
+  auto r = MetaPath::Create(id, semantics, std::move(steps));
+  ACTIVEITER_CHECK_MSG(r.ok(), r.status().ToString());
+  return std::move(r).value();
+}
+
+constexpr auto kFirst = NetworkSide::kFirst;
+constexpr auto kSecond = NetworkSide::kSecond;
+
+}  // namespace
+
+std::vector<MetaPath> SocialMetaPaths() {
+  std::vector<MetaPath> paths;
+  // P1: U -follow-> U <-anchor-> U <-follow- U  (Common Anchored Followee)
+  paths.push_back(MustCreate(
+      "P1", "Common Anchored Followee",
+      {StepRef::Rel(kFirst, RelationType::kFollow, true),
+       StepRef::Anchor(true),
+       StepRef::Rel(kSecond, RelationType::kFollow, false)}));
+  // P2: U <-follow- U <-anchor-> U -follow-> U  (Common Anchored Follower)
+  paths.push_back(MustCreate(
+      "P2", "Common Anchored Follower",
+      {StepRef::Rel(kFirst, RelationType::kFollow, false),
+       StepRef::Anchor(true),
+       StepRef::Rel(kSecond, RelationType::kFollow, true)}));
+  // P3: U -follow-> U <-anchor-> U -follow-> U
+  paths.push_back(MustCreate(
+      "P3", "Common Anchored Followee-Follower",
+      {StepRef::Rel(kFirst, RelationType::kFollow, true),
+       StepRef::Anchor(true),
+       StepRef::Rel(kSecond, RelationType::kFollow, true)}));
+  // P4: U <-follow- U <-anchor-> U <-follow- U
+  paths.push_back(MustCreate(
+      "P4", "Common Anchored Follower-Followee",
+      {StepRef::Rel(kFirst, RelationType::kFollow, false),
+       StepRef::Anchor(true),
+       StepRef::Rel(kSecond, RelationType::kFollow, false)}));
+  return paths;
+}
+
+std::vector<MetaPath> AttributeMetaPaths() {
+  std::vector<MetaPath> paths;
+  // P5: U -write-> P -at-> T <-at- P <-write- U  (Common Timestamp)
+  paths.push_back(MustCreate(
+      "P5", "Common Timestamp",
+      {StepRef::Rel(kFirst, RelationType::kWrite, true),
+       StepRef::Rel(kFirst, RelationType::kAt, true),
+       StepRef::Rel(kSecond, RelationType::kAt, false),
+       StepRef::Rel(kSecond, RelationType::kWrite, false)}));
+  // P6: U -write-> P -checkin-> L <-checkin- P <-write- U  (Common Checkin)
+  paths.push_back(MustCreate(
+      "P6", "Common Checkin",
+      {StepRef::Rel(kFirst, RelationType::kWrite, true),
+       StepRef::Rel(kFirst, RelationType::kCheckin, true),
+       StepRef::Rel(kSecond, RelationType::kCheckin, false),
+       StepRef::Rel(kSecond, RelationType::kWrite, false)}));
+  return paths;
+}
+
+MetaPath CommonWordMetaPath() {
+  return MustCreate(
+      "P7", "Common Word (extension)",
+      {StepRef::Rel(kFirst, RelationType::kWrite, true),
+       StepRef::Rel(kFirst, RelationType::kContain, true),
+       StepRef::Rel(kSecond, RelationType::kContain, false),
+       StepRef::Rel(kSecond, RelationType::kWrite, false)});
+}
+
+std::vector<MetaPath> StandardMetaPaths() {
+  std::vector<MetaPath> paths = SocialMetaPaths();
+  for (auto& p : AttributeMetaPaths()) paths.push_back(std::move(p));
+  return paths;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,69 @@
+// Inter-network meta paths (Definition 4).
+//
+// A meta path is a typed step sequence N1 -R1-> N2 -R2-> ... -> Nn whose
+// endpoints are the user types of the two networks. Its instance-count
+// matrix is the chain product of the step adjacency matrices. The standard
+// catalog P1..P6 of Table I (plus the word-based extension P7) is built by
+// StandardMetaPaths().
+
+#ifndef ACTIVEITER_METADIAGRAM_META_PATH_H_
+#define ACTIVEITER_METADIAGRAM_META_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/metadiagram/relation_matrices.h"
+
+namespace activeiter {
+
+/// An inter-network meta path: named, validated step sequence from U(1)
+/// to U(2).
+class MetaPath {
+ public:
+  /// Validates type compatibility of consecutive steps and the inter-network
+  /// endpoint condition (source U(1), sink U(2), Definition 4).
+  static Result<MetaPath> Create(std::string id, std::string semantics,
+                                 std::vector<StepRef> steps);
+
+  const std::string& id() const { return id_; }
+  const std::string& semantics() const { return semantics_; }
+  const std::vector<StepRef>& steps() const { return steps_; }
+
+  /// Path length (number of relations, = n-1 in Definition 4).
+  size_t length() const { return steps_.size(); }
+
+  /// Canonical signature, e.g. "1:follow>.anchor>.2:follow<".
+  std::string Signature() const;
+
+  /// Count matrix |U1|x|U2| via chain SpGEMM over the context's matrices.
+  SparseMatrix CountMatrix(const RelationContext& ctx) const;
+
+ private:
+  MetaPath(std::string id, std::string semantics, std::vector<StepRef> steps)
+      : id_(std::move(id)),
+        semantics_(std::move(semantics)),
+        steps_(std::move(steps)) {}
+
+  std::string id_;
+  std::string semantics_;
+  std::vector<StepRef> steps_;
+};
+
+/// The social meta paths Pf = {P1, P2, P3, P4} of Table I.
+std::vector<MetaPath> SocialMetaPaths();
+
+/// The attribute meta paths Pa = {P5, P6} of Table I.
+std::vector<MetaPath> AttributeMetaPaths();
+
+/// P7 (extension): U -write-> Post -contain-> Word <-contain- Post <-write- U
+/// ("Common Word"); not part of the paper's catalog but expressible in the
+/// same machinery.
+MetaPath CommonWordMetaPath();
+
+/// Pf ∪ Pa (P1..P6), the paper's full path catalog.
+std::vector<MetaPath> StandardMetaPaths();
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_META_PATH_H_

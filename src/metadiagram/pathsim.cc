@@ -1,0 +1,83 @@
+#include "src/metadiagram/pathsim.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+
+PathSim::PathSim(SparseMatrix counts)
+    : counts_(std::move(counts)), diagonal_(counts_.rows()) {
+  for (size_t i = 0; i < counts_.rows(); ++i) {
+    diagonal_(i) = counts_.At(i, i);
+  }
+}
+
+Result<PathSim> PathSim::Create(const HeteroNetwork& net,
+                                const std::vector<StepRef>& half_path) {
+  if (half_path.empty()) {
+    return Status::InvalidArgument("half path needs at least one step");
+  }
+  if (half_path.front().is_anchor) {
+    return Status::InvalidArgument("PathSim is intra-network (no anchors)");
+  }
+  if (half_path.front().SourceNodeType() != NodeType::kUser) {
+    return Status::InvalidArgument("PathSim half path must start at users");
+  }
+  for (size_t i = 0; i + 1 < half_path.size(); ++i) {
+    if (half_path[i].is_anchor || half_path[i + 1].is_anchor) {
+      return Status::InvalidArgument("PathSim is intra-network (no anchors)");
+    }
+    if (half_path[i].TargetNodeType() != half_path[i + 1].SourceNodeType()) {
+      return Status::InvalidArgument(StrFormat(
+          "steps %zu and %zu do not compose", i, i + 1));
+    }
+  }
+  // Chain the half path, then close the loop with its transpose.
+  auto matrix_of = [&](const StepRef& step) {
+    SparseMatrix adj = net.AdjacencyMatrix(step.relation);
+    return step.forward ? adj : Transpose(adj);
+  };
+  SparseMatrix h = matrix_of(half_path.front());
+  for (size_t i = 1; i < half_path.size(); ++i) {
+    h = SpGemm(h, matrix_of(half_path[i]));
+  }
+  SparseMatrix m = SpGemm(h, Transpose(h));
+  return PathSim(std::move(m));
+}
+
+double PathSim::Score(NodeId i, NodeId j) const {
+  ACTIVEITER_CHECK(i < counts_.rows() && j < counts_.rows());
+  double numer = 2.0 * counts_.At(i, j);
+  if (numer == 0.0) return 0.0;
+  return numer / (diagonal_(i) + diagonal_(j));
+}
+
+std::vector<std::pair<NodeId, double>> PathSim::TopK(NodeId i,
+                                                     size_t k) const {
+  ACTIVEITER_CHECK(i < counts_.rows());
+  std::vector<std::pair<NodeId, double>> scored;
+  counts_.ForEachInRow(i, [&](size_t j, double) {
+    if (j == i) return;
+    double s = Score(i, static_cast<NodeId>(j));
+    if (s > 0.0) scored.emplace_back(static_cast<NodeId>(j), s);
+  });
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<StepRef> CoFollowHalfPath() {
+  return {StepRef::Rel(NetworkSide::kFirst, RelationType::kFollow, true)};
+}
+
+std::vector<StepRef> CoLocationHalfPath() {
+  return {StepRef::Rel(NetworkSide::kFirst, RelationType::kWrite, true),
+          StepRef::Rel(NetworkSide::kFirst, RelationType::kCheckin, true)};
+}
+
+}  // namespace activeiter

@@ -1,0 +1,28 @@
+#include "src/metadiagram/proximity.h"
+
+namespace activeiter {
+
+ProximityScores::ProximityScores(SparseMatrix counts)
+    : counts_(std::move(counts)),
+      row_sums_(counts_.RowSums()),
+      col_sums_(counts_.ColSums()) {}
+
+double ProximityScores::Score(NodeId u1, NodeId u2) const {
+  double numer = 2.0 * counts_.At(u1, u2);
+  if (numer == 0.0) return 0.0;
+  double denom = row_sums_(u1) + col_sums_(u2);
+  // denom >= numer/1 > 0 whenever numer > 0 (the (i,j) instances are part
+  // of both sums), so this division is safe.
+  return numer / denom;
+}
+
+Vector ProximityScores::ScoresFor(const CandidateLinkSet& candidates) const {
+  Vector out(candidates.size());
+  for (size_t id = 0; id < candidates.size(); ++id) {
+    const auto& [u1, u2] = candidates.link(id);
+    out(id) = Score(u1, u2);
+  }
+  return out;
+}
+
+}  // namespace activeiter

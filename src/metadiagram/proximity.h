@@ -1,0 +1,41 @@
+// Meta diagram proximity (Definition 6):
+//
+//   s_Φ(u1_i, u2_j) = 2 |P_Φ(i, j)| / (|P_Φ(i, ·)| + |P_Φ(·, j)|)
+//
+// — the Dice coefficient of diagram instances between a user pair,
+// penalised by all instances leaving i and entering j.
+
+#ifndef ACTIVEITER_METADIAGRAM_PROXIMITY_H_
+#define ACTIVEITER_METADIAGRAM_PROXIMITY_H_
+
+#include "src/graph/incidence.h"
+#include "src/linalg/sparse.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// A count matrix with cached row/column sums, supporting O(log nnz)
+/// proximity queries.
+class ProximityScores {
+ public:
+  /// Takes the |U1|×|U2| diagram instance-count matrix.
+  explicit ProximityScores(SparseMatrix counts);
+
+  /// Dice proximity of one user pair; 0 when the pair has no instances at
+  /// all (0/0 treated as 0).
+  double Score(NodeId u1, NodeId u2) const;
+
+  /// Proximity for each candidate link, in candidate order.
+  Vector ScoresFor(const CandidateLinkSet& candidates) const;
+
+  const SparseMatrix& counts() const { return counts_; }
+
+ private:
+  SparseMatrix counts_;
+  Vector row_sums_;
+  Vector col_sums_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_PROXIMITY_H_

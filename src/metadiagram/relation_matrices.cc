@@ -1,0 +1,61 @@
+#include "src/metadiagram/relation_matrices.h"
+
+#include "src/common/string_util.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+
+NodeType StepRef::SourceNodeType() const {
+  if (is_anchor) return NodeType::kUser;
+  return forward ? RelationSourceType(relation) : RelationTargetType(relation);
+}
+
+NodeType StepRef::TargetNodeType() const {
+  if (is_anchor) return NodeType::kUser;
+  return forward ? RelationTargetType(relation) : RelationSourceType(relation);
+}
+
+NetworkSide StepRef::SourceSide() const {
+  if (is_anchor) return forward ? NetworkSide::kFirst : NetworkSide::kSecond;
+  return side;
+}
+
+NetworkSide StepRef::TargetSide() const {
+  if (is_anchor) return forward ? NetworkSide::kSecond : NetworkSide::kFirst;
+  return side;
+}
+
+std::string StepRef::Token() const {
+  if (is_anchor) return forward ? "anchor>" : "anchor<";
+  return StrFormat("%d:%s%c", side == NetworkSide::kFirst ? 1 : 2,
+                   RelationTypeName(relation), forward ? '>' : '<');
+}
+
+RelationContext::RelationContext(const AlignedPair& pair,
+                                 const std::vector<AnchorLink>& train_anchors)
+    : users_first_(pair.first().NodeCount(NodeType::kUser)),
+      users_second_(pair.second().NodeCount(NodeType::kUser)),
+      train_anchor_count_(train_anchors.size()) {
+  const HeteroNetwork* nets[2] = {&pair.first(), &pair.second()};
+  for (int s = 0; s < 2; ++s) {
+    for (int r = 0; r < kNumRelationTypes; ++r) {
+      SparseMatrix adj =
+          nets[s]->AdjacencyMatrix(static_cast<RelationType>(r));
+      backward_[s][r] = Transpose(adj);
+      forward_[s][r] = std::move(adj);
+    }
+  }
+  anchor_forward_ = pair.AnchorMatrixFor(train_anchors);
+  anchor_backward_ = Transpose(anchor_forward_);
+}
+
+const SparseMatrix& RelationContext::Get(const StepRef& step) const {
+  if (step.is_anchor) {
+    return step.forward ? anchor_forward_ : anchor_backward_;
+  }
+  size_t s = step.side == NetworkSide::kFirst ? 0 : 1;
+  size_t r = static_cast<size_t>(step.relation);
+  return step.forward ? forward_[s][r] : backward_[s][r];
+}
+
+}  // namespace activeiter

@@ -1,0 +1,84 @@
+// RelationContext: the adjacency matrices a meta-path/meta-diagram
+// evaluation needs, cached with their transposes.
+//
+// Inter-network meta paths traverse three kinds of segments: intra-network
+// relations of side 1, the anchor bridge, and intra-network relations of
+// side 2. The anchor bridge uses only the *training* anchors L+ (the model
+// may not peek at test anchors), so a fresh context is built per fold.
+
+#ifndef ACTIVEITER_METADIAGRAM_RELATION_MATRICES_H_
+#define ACTIVEITER_METADIAGRAM_RELATION_MATRICES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/graph/aligned_pair.h"
+#include "src/linalg/sparse.h"
+
+namespace activeiter {
+
+/// One typed step of a meta path: either an intra-network relation
+/// traversed forward/backward on a given side, or the anchor bridge.
+struct StepRef {
+  bool is_anchor = false;
+  NetworkSide side = NetworkSide::kFirst;  // ignored for anchor steps
+  RelationType relation = RelationType::kFollow;
+  bool forward = true;
+
+  /// Relation step helpers.
+  static StepRef Rel(NetworkSide side, RelationType relation, bool forward) {
+    return {false, side, relation, forward};
+  }
+  /// Anchor bridge; forward = U(1) -> U(2).
+  static StepRef Anchor(bool forward) {
+    return {true, NetworkSide::kFirst, RelationType::kFollow, forward};
+  }
+
+  /// Node type/side at the step's source and target.
+  NodeType SourceNodeType() const;
+  NodeType TargetNodeType() const;
+  NetworkSide SourceSide() const;
+  NetworkSide TargetSide() const;
+
+  /// Canonical token used in expression signatures, e.g. "1:follow>",
+  /// "2:write<", "anchor>".
+  std::string Token() const;
+
+  bool operator==(const StepRef& other) const {
+    return is_anchor == other.is_anchor && side == other.side &&
+           relation == other.relation && forward == other.forward;
+  }
+};
+
+/// Caches every relation adjacency (and transpose) of an aligned pair plus
+/// the training-anchor bridge matrix.
+class RelationContext {
+ public:
+  /// Builds the context. `train_anchors` is the labeled anchor set L+ used
+  /// as the bridge; it may be any subset of the pair's ground truth (or
+  /// arbitrary user pairs for what-if analyses).
+  RelationContext(const AlignedPair& pair,
+                  const std::vector<AnchorLink>& train_anchors);
+
+  /// The matrix of one step (already transposed for backward steps).
+  const SparseMatrix& Get(const StepRef& step) const;
+
+  size_t users_first() const { return users_first_; }
+  size_t users_second() const { return users_second_; }
+  size_t train_anchor_count() const { return train_anchor_count_; }
+
+ private:
+  size_t users_first_;
+  size_t users_second_;
+  size_t train_anchor_count_;
+  // [side][relation] forward and backward adjacency.
+  std::array<std::array<SparseMatrix, kNumRelationTypes>, 2> forward_;
+  std::array<std::array<SparseMatrix, kNumRelationTypes>, 2> backward_;
+  SparseMatrix anchor_forward_;
+  SparseMatrix anchor_backward_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_RELATION_MATRICES_H_

@@ -1,0 +1,129 @@
+#include "src/align/multi_align.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+TEST(ComposeTest, ChainsThroughMiddleNetwork) {
+  std::vector<AnchorLink> a12 = {{0, 5}, {1, 6}};
+  std::vector<AnchorLink> a23 = {{5, 9}, {7, 3}};
+  auto composed = ComposeAlignments(a12, a23);
+  ASSERT_EQ(composed.size(), 1u);
+  EXPECT_EQ(composed[0], (AnchorLink{0, 9}));
+}
+
+TEST(ComposeTest, EmptyInputs) {
+  EXPECT_TRUE(ComposeAlignments({}, {{0, 1}}).empty());
+  EXPECT_TRUE(ComposeAlignments({{0, 1}}, {}).empty());
+}
+
+TEST(ComposeTest, PreservesMultiplicityAndDedups) {
+  // Non-one-to-one middle: 0~5, 5~{1,2} => (0,1), (0,2).
+  std::vector<AnchorLink> a12 = {{0, 5}, {0, 5}};
+  std::vector<AnchorLink> a23 = {{5, 1}, {5, 2}};
+  auto composed = ComposeAlignments(a12, a23);
+  ASSERT_EQ(composed.size(), 2u);  // duplicates merged
+  EXPECT_EQ(composed[0], (AnchorLink{0, 1}));
+  EXPECT_EQ(composed[1], (AnchorLink{0, 2}));
+}
+
+TEST(ConsistencyTest, PerfectAndPartial) {
+  std::vector<AnchorLink> direct = {{0, 9}, {1, 8}};
+  EXPECT_EQ(TransitiveConsistency({{0, 9}}, direct), 1.0);
+  EXPECT_EQ(TransitiveConsistency({{0, 9}, {2, 7}}, direct), 0.5);
+  EXPECT_EQ(TransitiveConsistency({{3, 3}}, direct), 0.0);
+  EXPECT_EQ(TransitiveConsistency({}, direct), 1.0);
+}
+
+TEST(ReconcileTest, AgreementsFirstThenOneToOne) {
+  std::vector<AnchorLink> direct = {{0, 0}, {1, 1}, {2, 5}};
+  std::vector<AnchorLink> composed = {{0, 0}, {2, 2}};
+  ReconciledAlignment r = ReconcileAlignments(direct, composed);
+  EXPECT_EQ(r.agreed, 1u);         // (0,0)
+  EXPECT_EQ(r.direct_only, 2u);    // (1,1), (2,5)
+  EXPECT_EQ(r.composed_only, 0u);  // (2,2) blocked: user 2 already used
+  // One-to-one holds.
+  std::set<NodeId> u1s, u2s;
+  for (const auto& link : r.links) {
+    EXPECT_TRUE(u1s.insert(link.u1).second);
+    EXPECT_TRUE(u2s.insert(link.u2).second);
+  }
+}
+
+TEST(ReconcileTest, ComposedFillsGaps) {
+  std::vector<AnchorLink> direct = {{0, 0}};
+  std::vector<AnchorLink> composed = {{1, 1}, {2, 2}};
+  ReconciledAlignment r = ReconcileAlignments(direct, composed);
+  EXPECT_EQ(r.links.size(), 3u);
+  EXPECT_EQ(r.composed_only, 2u);
+}
+
+TEST(MultiNetworkGenerationTest, ThreeSidesShareUsers) {
+  GeneratorConfig cfg = TinyPreset(31);
+  auto multi = AlignedNetworkGenerator(cfg).GenerateMany(3);
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  const MultiAlignedNetworks& m = multi.value();
+  EXPECT_EQ(m.side_count(), 3u);
+  EXPECT_EQ(m.shared_user_count(), cfg.shared_users);
+  // Sides alternate first/second extra-user counts.
+  EXPECT_EQ(m.networks[0].NodeCount(NodeType::kUser),
+            cfg.shared_users + cfg.first.extra_users);
+  EXPECT_EQ(m.networks[1].NodeCount(NodeType::kUser),
+            cfg.shared_users + cfg.second.extra_users);
+  EXPECT_EQ(m.networks[2].NodeCount(NodeType::kUser),
+            cfg.shared_users + cfg.first.extra_users);
+}
+
+TEST(MultiNetworkGenerationTest, PairwiseAnchorsAreConsistent) {
+  auto multi = AlignedNetworkGenerator(TinyPreset(32)).GenerateMany(3);
+  ASSERT_TRUE(multi.ok());
+  auto a01 = multi.value().AnchorsBetween(0, 1);
+  auto a12 = multi.value().AnchorsBetween(1, 2);
+  auto a02 = multi.value().AnchorsBetween(0, 2);
+  ASSERT_TRUE(a01.ok() && a12.ok() && a02.ok());
+  // Ground truth must be perfectly transitive.
+  auto composed = ComposeAlignments(a01.value(), a12.value());
+  EXPECT_EQ(TransitiveConsistency(composed, a02.value()), 1.0);
+  EXPECT_EQ(composed.size(), a02.value().size());
+}
+
+TEST(MultiNetworkGenerationTest, MakePairBuildsValidAlignedPair) {
+  auto multi = AlignedNetworkGenerator(TinyPreset(33)).GenerateMany(4);
+  ASSERT_TRUE(multi.ok());
+  auto pair = multi.value().MakePair(1, 3);
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  EXPECT_EQ(pair.value().anchor_count(),
+            multi.value().shared_user_count());
+  EXPECT_TRUE(pair.value().ValidateSharedAttributes().ok());
+}
+
+TEST(MultiNetworkGenerationTest, RejectsBadArguments) {
+  auto multi = AlignedNetworkGenerator(TinyPreset(34)).GenerateMany(1);
+  EXPECT_FALSE(multi.ok());
+  auto ok = AlignedNetworkGenerator(TinyPreset(34)).GenerateMany(2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().MakePair(0, 0).ok());
+  EXPECT_FALSE(ok.value().MakePair(0, 5).ok());
+}
+
+TEST(MultiNetworkGenerationTest, TwoSidedMatchesGenerate) {
+  GeneratorConfig cfg = TinyPreset(35);
+  auto pair = AlignedNetworkGenerator(cfg).Generate();
+  auto multi = AlignedNetworkGenerator(cfg).GenerateMany(2);
+  ASSERT_TRUE(pair.ok() && multi.ok());
+  auto pair2 = multi.value().MakePair(0, 1);
+  ASSERT_TRUE(pair2.ok());
+  EXPECT_EQ(pair.value().anchors(), pair2.value().anchors());
+  EXPECT_TRUE(
+      pair.value().first().AdjacencyMatrix(RelationType::kFollow).Equals(
+          pair2.value().first().AdjacencyMatrix(RelationType::kFollow)));
+}
+
+}  // namespace
+}  // namespace activeiter

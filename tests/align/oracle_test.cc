@@ -1,0 +1,54 @@
+#include "src/align/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+AlignedPair MakePair() {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "n1");
+  a.AddNodes(NodeType::kUser, 3);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "n2");
+  b.AddNodes(NodeType::kUser, 3);
+  AlignedPair pair(std::move(a), std::move(b));
+  EXPECT_TRUE(pair.AddAnchor(0, 1).ok());
+  return pair;
+}
+
+TEST(OracleTest, AnswersGroundTruth) {
+  AlignedPair pair = MakePair();
+  Oracle oracle(pair, 10);
+  EXPECT_EQ(oracle.Query(0, 1), 1.0);
+  EXPECT_EQ(oracle.Query(0, 0), 0.0);
+  EXPECT_EQ(oracle.Query(1, 1), 0.0);
+}
+
+TEST(OracleTest, TracksBudget) {
+  AlignedPair pair = MakePair();
+  Oracle oracle(pair, 3);
+  EXPECT_EQ(oracle.remaining_budget(), 3u);
+  oracle.Query(0, 0);
+  oracle.Query(0, 1);
+  EXPECT_EQ(oracle.queries_used(), 2u);
+  EXPECT_EQ(oracle.remaining_budget(), 1u);
+}
+
+TEST(OracleTest, QueryByLinkId) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet candidates;
+  candidates.Add(0, 1);
+  candidates.Add(2, 2);
+  Oracle oracle(pair, 5);
+  EXPECT_EQ(oracle.QueryLink(candidates, 0), 1.0);
+  EXPECT_EQ(oracle.QueryLink(candidates, 1), 0.0);
+}
+
+TEST(OracleDeathTest, ExhaustedBudgetDies) {
+  AlignedPair pair = MakePair();
+  Oracle oracle(pair, 1);
+  oracle.Query(0, 0);
+  EXPECT_DEATH(oracle.Query(0, 1), "budget");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,203 @@
+#include "src/align/query_strategy.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+struct Fixture {
+  AlignedPair pair;
+  CandidateLinkSet candidates;
+  std::unique_ptr<IncidenceIndex> index;
+  Vector scores;
+  Vector y;
+  std::vector<Pin> pinned;
+
+  QueryContext Context() const {
+    QueryContext ctx;
+    ctx.scores = &scores;
+    ctx.y = &y;
+    ctx.index = index.get();
+    ctx.pinned = &pinned;
+    return ctx;
+  }
+};
+
+/// Conflict scenario from the paper's §III-D step (2):
+///   link 0 = (0,0) inferred POSITIVE with score 0.62  (l')
+///   link 1 = (0,1) inferred NEGATIVE with score 0.60  (l, barely lost)
+///   link 2 = (1,1) inferred POSITIVE with score 0.20  (l'', dominated)
+///   link 3 = (2,2) inferred NEGATIVE with score 0.10  (uninteresting)
+Fixture ConflictFixture() {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "n1");
+  a.AddNodes(NodeType::kUser, 3);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "n2");
+  b.AddNodes(NodeType::kUser, 3);
+  Fixture f{AlignedPair(std::move(a), std::move(b)), {}, nullptr,
+            {}, {}, {}};
+  f.candidates.Add(0, 0);
+  f.candidates.Add(0, 1);
+  f.candidates.Add(1, 1);
+  f.candidates.Add(2, 2);
+  f.index = std::make_unique<IncidenceIndex>(f.pair, f.candidates);
+  f.scores = Vector{0.62, 0.60, 0.20, 0.10};
+  f.y = Vector{1.0, 0.0, 1.0, 0.0};
+  f.pinned.assign(4, Pin::kFree);
+  return f;
+}
+
+TEST(ConflictStrategyTest, FindsBarelyLostFalseNegative) {
+  Fixture f = ConflictFixture();
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  auto picks = strategy.SelectQueries(f.Context(), 5, &rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);  // the barely-lost link (0,1)
+}
+
+TEST(ConflictStrategyTest, ClosenessThresholdGates) {
+  Fixture f = ConflictFixture();
+  f.scores(1) = 0.50;  // now far from the winner 0.62
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  EXPECT_TRUE(strategy.SelectQueries(f.Context(), 5, &rng).empty());
+}
+
+TEST(ConflictStrategyTest, DominanceMarginGates) {
+  Fixture f = ConflictFixture();
+  f.scores(2) = 0.58;  // l'' no longer clearly dominated
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  EXPECT_TRUE(strategy.SelectQueries(f.Context(), 5, &rng).empty());
+}
+
+TEST(ConflictStrategyTest, RequiresPositiveDominatedScore) {
+  Fixture f = ConflictFixture();
+  f.scores(2) = -0.1;  // ŷ_l'' must be > 0 per the paper
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  EXPECT_TRUE(strategy.SelectQueries(f.Context(), 5, &rng).empty());
+}
+
+TEST(ConflictStrategyTest, SkipsPinnedLinks) {
+  Fixture f = ConflictFixture();
+  f.pinned[1] = Pin::kNegative;  // already queried
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  EXPECT_TRUE(strategy.SelectQueries(f.Context(), 5, &rng).empty());
+}
+
+TEST(ConflictStrategyTest, RanksByDominanceGap) {
+  // Two candidates; the one with the larger ŷ_l − ŷ_l'' gap ranks first.
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "n1");
+  a.AddNodes(NodeType::kUser, 4);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "n2");
+  b.AddNodes(NodeType::kUser, 4);
+  Fixture f{AlignedPair(std::move(a), std::move(b)), {}, nullptr,
+            {}, {}, {}};
+  // Cluster A: winner (0,0)=0.62+, loser (0,1)=0.60-, dominated (1,1)=0.3+.
+  f.candidates.Add(0, 0);
+  f.candidates.Add(0, 1);
+  f.candidates.Add(1, 1);
+  // Cluster B: winner (2,2)=0.82+, loser (2,3)=0.80-, dominated (3,3)=0.1+.
+  f.candidates.Add(2, 2);
+  f.candidates.Add(2, 3);
+  f.candidates.Add(3, 3);
+  f.index = std::make_unique<IncidenceIndex>(f.pair, f.candidates);
+  f.scores = Vector{0.62, 0.60, 0.30, 0.82, 0.80, 0.10};
+  f.y = Vector{1.0, 0.0, 1.0, 1.0, 0.0, 1.0};
+  f.pinned.assign(6, Pin::kFree);
+
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  auto picks = strategy.SelectQueries(f.Context(), 2, &rng);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 4u);  // gap 0.80-0.10 = 0.70 beats 0.60-0.30 = 0.30
+  EXPECT_EQ(picks[1], 1u);
+}
+
+TEST(ConflictStrategyTest, BatchSizeHonoured) {
+  Fixture f = ConflictFixture();
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/false);
+  Rng rng(1);
+  EXPECT_LE(strategy.SelectQueries(f.Context(), 0, &rng).size(), 0u);
+}
+
+TEST(ConflictStrategyTest, NearMissFallbackTopsUpShortBatches) {
+  Fixture f = ConflictFixture();
+  f.scores(1) = 0.50;  // strict candidate set empty (closeness gate)
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/true);
+  Rng rng(1);
+  auto picks = strategy.SelectQueries(f.Context(), 2, &rng);
+  // Link 1 lost to (0,0) by 0.12 -> a near miss; link 3 has no conflicting
+  // positive and is never queried. Exactly one top-up candidate exists.
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);
+}
+
+TEST(ConflictStrategyTest, StrictCandidatesRankAheadOfNearMisses) {
+  Fixture f = ConflictFixture();
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/true);
+  Rng rng(1);
+  auto picks = strategy.SelectQueries(f.Context(), 3, &rng);
+  ASSERT_GE(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);  // the strict candidate stays first
+}
+
+TEST(ConflictStrategyTest, NearMissRequiresConflictingPositive) {
+  // A lone negative link with no conflicting positive is never queried.
+  Fixture f = ConflictFixture();
+  f.y = Vector{0.0, 0.0, 0.0, 0.0};  // nothing inferred positive
+  ConflictQueryStrategy strategy(0.05, 0.05, /*fill_with_near_misses=*/true);
+  Rng rng(1);
+  EXPECT_TRUE(strategy.SelectQueries(f.Context(), 4, &rng).empty());
+}
+
+TEST(RandomStrategyTest, PicksOnlyUnpinned) {
+  Fixture f = ConflictFixture();
+  f.pinned[0] = Pin::kPositive;
+  f.pinned[2] = Pin::kNegative;
+  RandomQueryStrategy strategy;
+  Rng rng(2);
+  auto picks = strategy.SelectQueries(f.Context(), 10, &rng);
+  std::set<size_t> got(picks.begin(), picks.end());
+  EXPECT_EQ(got, (std::set<size_t>{1, 3}));
+}
+
+TEST(RandomStrategyTest, RespectsK) {
+  Fixture f = ConflictFixture();
+  RandomQueryStrategy strategy;
+  Rng rng(3);
+  EXPECT_EQ(strategy.SelectQueries(f.Context(), 2, &rng).size(), 2u);
+}
+
+TEST(RandomStrategyTest, DeterministicGivenRng) {
+  Fixture f = ConflictFixture();
+  RandomQueryStrategy strategy;
+  Rng rng1(7), rng2(7);
+  EXPECT_EQ(strategy.SelectQueries(f.Context(), 2, &rng1),
+            strategy.SelectQueries(f.Context(), 2, &rng2));
+}
+
+TEST(UncertaintyStrategyTest, PicksNearThreshold) {
+  Fixture f = ConflictFixture();
+  UncertaintyQueryStrategy strategy(0.5);
+  Rng rng(4);
+  auto picks = strategy.SelectQueries(f.Context(), 1, &rng);
+  ASSERT_EQ(picks.size(), 1u);
+  // Scores: 0.62, 0.60, 0.20, 0.10 -> closest to 0.5 is link 1 (0.60).
+  EXPECT_EQ(picks[0], 1u);
+}
+
+TEST(StrategyNamesAreStable, Names) {
+  EXPECT_STREQ(ConflictQueryStrategy().name(), "conflict");
+  EXPECT_STREQ(RandomQueryStrategy().name(), "random");
+  EXPECT_STREQ(UncertaintyQueryStrategy().name(), "uncertainty");
+}
+
+}  // namespace
+}  // namespace activeiter

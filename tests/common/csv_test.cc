@@ -1,0 +1,47 @@
+#include "src/common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(CsvTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter writer(&os);
+  writer.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter writer(&os);
+  writer.WriteRow({"x,y", "plain"});
+  EXPECT_EQ(os.str(), "\"x,y\",plain\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, NumericRowPrecision) {
+  std::ostringstream os;
+  CsvWriter writer(&os);
+  writer.WriteNumericRow({0.5, 1.25}, 2);
+  EXPECT_EQ(os.str(), "0.50,1.25\n");
+}
+
+TEST(CsvTest, EmptyRowProducesNewline) {
+  std::ostringstream os;
+  CsvWriter writer(&os);
+  writer.WriteRow({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,69 @@
+#include "src/common/log.h"
+
+#include <iostream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+/// Captures std::cerr for the duration of a scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LogTest, EmitsAtOrAboveLevel) {
+  SetLogLevel(LogLevel::kInfo);
+  CerrCapture capture;
+  ACTIVEITER_LOG(kInfo) << "visible message";
+  EXPECT_NE(capture.str().find("visible message"), std::string::npos);
+  EXPECT_NE(capture.str().find("INFO"), std::string::npos);
+}
+
+TEST_F(LogTest, FiltersBelowLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  ACTIVEITER_LOG(kInfo) << "hidden message";
+  ACTIVEITER_LOG(kDebug) << "also hidden";
+  EXPECT_EQ(capture.str(), "");
+}
+
+TEST_F(LogTest, ErrorAlwaysPassesDefaultLevels) {
+  SetLogLevel(LogLevel::kError);
+  CerrCapture capture;
+  ACTIVEITER_LOG(kError) << "boom";
+  EXPECT_NE(capture.str().find("boom"), std::string::npos);
+  EXPECT_NE(capture.str().find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, IncludesSourceLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  ACTIVEITER_LOG(kWarning) << "located";
+  EXPECT_NE(capture.str().find("log_test.cc"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,54 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  std::string long_arg(500, 'a');
+  std::string out = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FormatDoubleTest, RoundsToPrecision) {
+  EXPECT_EQ(FormatDouble(0.63149, 3), "0.631");
+  EXPECT_EQ(FormatDouble(0.6355, 2), "0.64");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatMeanStdTest, PaperStyle) {
+  EXPECT_EQ(FormatMeanStd(0.631, 0.01, 3), "0.631±0.010");
+  EXPECT_EQ(FormatMeanStd(0.5, 0.0, 2), "0.50±0.00");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(9490707), "9,490,707");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("ActiveIter-100", "ActiveIter"));
+  EXPECT_FALSE(StartsWith("Iter", "IterMPMD"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace activeiter

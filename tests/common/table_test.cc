@@ -1,0 +1,76 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t;
+  t.SetHeader({"method", "F1"});
+  t.AddRow({"ActiveIter-100", "0.631"});
+  t.AddRow({"SVM-MP", "0.476"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("ActiveIter-100"), std::string::npos);
+  EXPECT_NE(out.find("0.476"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"short", "x"});
+  t.AddRow({"much-longer-cell", "y"});
+  std::string out = t.ToString();
+  // Every rendered line has the same width.
+  size_t first_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    EXPECT_EQ(eol - pos, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, UtfCellsDoNotBreakAlignment) {
+  TextTable t;
+  t.SetHeader({"metric", "value"});
+  t.AddRow({"F1", "0.631±0.010"});
+  t.AddRow({"Recall", "0.499±0.012"});
+  std::string out = t.ToString();
+  size_t first_pipe_col = out.find('|');
+  EXPECT_NE(first_pipe_col, std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchDies) {
+  TextTable t;
+  t.SetHeader({"one", "two"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+TEST(TextTableTest, SeparatorRendersLine) {
+  TextTable t;
+  t.SetHeader({"x"});
+  t.AddRow({"above"});
+  t.AddSeparator();
+  t.AddRow({"below"});
+  std::string out = t.ToString();
+  // header line + top/bottom + separator = at least 4 horizontal rules.
+  size_t rules = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t;
+  t.AddRow({"a"});
+  t.AddRow({"b"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace activeiter

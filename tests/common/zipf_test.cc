@@ -1,0 +1,63 @@
+#include "src/common/zipf.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(50, 1.2);
+  double total = 0.0;
+  for (size_t r = 0; r < 50; ++r) total += z.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler z(100, 1.0);
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_LE(z.Pmf(r), z.Pmf(r - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler z(20, 1.5);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(&rng), 20u);
+}
+
+TEST(ZipfTest, EmpiricalHeadFrequencyMatchesPmf) {
+  ZipfSampler z(30, 1.0);
+  Rng rng(8);
+  const int n = 50000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) head += (z.Sample(&rng) == 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(head) / n, z.Pmf(0), 0.01);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+// Property sweep over exponents: higher skew concentrates more mass on the
+// first rank.
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadMassGrowsWithExponent) {
+  double s = GetParam();
+  ZipfSampler low(40, s);
+  ZipfSampler high(40, s + 0.5);
+  EXPECT_GT(high.Pmf(0), low.Pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,132 @@
+#include "src/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto pair = AlignedNetworkGenerator(TinyPreset(13)).Generate();
+    ASSERT_TRUE(pair.ok());
+    pair_ = new AlignedPair(std::move(pair).ValueOrDie());
+    ProtocolConfig cfg;
+    cfg.np_ratio = 5.0;
+    cfg.sample_ratio = 0.6;
+    cfg.num_folds = 5;
+    cfg.seed = 3;
+    auto protocol = Protocol::Create(*pair_, cfg);
+    ASSERT_TRUE(protocol.ok());
+    fold_ = new FoldData(protocol.value().MakeFold(0));
+  }
+  static void TearDownTestSuite() {
+    delete fold_;
+    delete pair_;
+    fold_ = nullptr;
+    pair_ = nullptr;
+  }
+
+  static AlignedPair* pair_;
+  static FoldData* fold_;
+};
+
+AlignedPair* ExperimentTest::pair_ = nullptr;
+FoldData* ExperimentTest::fold_ = nullptr;
+
+TEST_F(ExperimentTest, PaperSuiteHasSixMethods) {
+  auto suite = PaperMethodSuite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "ActiveIter-100");
+  EXPECT_EQ(suite[1].name, "ActiveIter-50");
+  EXPECT_EQ(suite[2].name, "ActiveIter-Rand-50");
+  EXPECT_EQ(suite[3].name, "Iter-MPMD");
+  EXPECT_EQ(suite[4].name, "SVM-MPMD");
+  EXPECT_EQ(suite[5].name, "SVM-MP");
+}
+
+TEST_F(ExperimentTest, SvmMpUsesPathFeaturesOnly) {
+  auto suite = PaperMethodSuite();
+  EXPECT_EQ(suite[5].features, FeatureSet::kMetaPathOnly);
+  EXPECT_EQ(suite[4].features, FeatureSet::kMetaPathAndDiagram);
+}
+
+TEST_F(ExperimentTest, FeatureCacheHasExpectedShapes) {
+  FoldRunner runner(*pair_, *fold_, 1);
+  const Matrix& full = runner.FeaturesFor(FeatureSet::kMetaPathAndDiagram);
+  EXPECT_EQ(full.rows(), fold_->size());
+  EXPECT_EQ(full.cols(), 30u);
+  const Matrix& mp = runner.FeaturesFor(FeatureSet::kMetaPathOnly);
+  EXPECT_EQ(mp.cols(), 7u);
+}
+
+TEST_F(ExperimentTest, AllPaperMethodsRun) {
+  FoldRunner runner(*pair_, *fold_, 2);
+  for (const auto& spec : PaperMethodSuite()) {
+    auto outcome = runner.Run(spec);
+    ASSERT_TRUE(outcome.ok()) << spec.name << ": " << outcome.status();
+    // Non-active methods evaluate the whole test set; active methods may
+    // exclude up to queries_used test links (queries hitting train
+    // negatives are not in the test set to begin with).
+    size_t total = outcome.value().metrics.Total();
+    EXPECT_LE(total, fold_->test_ids.size()) << spec.name;
+    EXPECT_GE(total + outcome.value().queries_used, fold_->test_ids.size())
+        << spec.name;
+  }
+}
+
+TEST_F(ExperimentTest, ActiveIterUsesItsBudget) {
+  FoldRunner runner(*pair_, *fold_, 3);
+  auto outcome = runner.Run(ActiveIterSpec(20));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome.value().queries_used, 20u);
+  EXPECT_GT(outcome.value().queries_used, 0u);
+}
+
+TEST_F(ExperimentTest, IterMpmdProducesConvergentTrace) {
+  FoldRunner runner(*pair_, *fold_, 4);
+  auto outcome = runner.Run(IterMpmdSpec());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value().traces.size(), 1u);
+  EXPECT_TRUE(outcome.value().traces[0].converged);
+}
+
+TEST_F(ExperimentTest, PuMethodsBeatSvmOnF1) {
+  // The paper's headline ordering at moderate θ: Iter-MPMD > SVM-MPMD.
+  FoldRunner runner(*pair_, *fold_, 5);
+  auto iter = runner.Run(IterMpmdSpec());
+  auto svm = runner.Run(SvmSpec(FeatureSet::kMetaPathAndDiagram));
+  ASSERT_TRUE(iter.ok());
+  ASSERT_TRUE(svm.ok());
+  EXPECT_GE(iter.value().metrics.F1(), svm.value().metrics.F1());
+}
+
+TEST_F(ExperimentTest, MetricsAreInUnitInterval) {
+  FoldRunner runner(*pair_, *fold_, 6);
+  for (const auto& spec : PaperMethodSuite()) {
+    auto outcome = runner.Run(spec);
+    ASSERT_TRUE(outcome.ok());
+    const BinaryMetrics& m = outcome.value().metrics;
+    for (double v : {m.F1(), m.Precision(), m.Recall(), m.Accuracy()}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_F(ExperimentTest, DeterministicAcrossRunners) {
+  FoldRunner r1(*pair_, *fold_, 7);
+  FoldRunner r2(*pair_, *fold_, 7);
+  auto o1 = r1.Run(ActiveIterSpec(10));
+  auto o2 = r2.Run(ActiveIterSpec(10));
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1.value().metrics.tp, o2.value().metrics.tp);
+  EXPECT_EQ(o1.value().metrics.fp, o2.value().metrics.fp);
+}
+
+}  // namespace
+}  // namespace activeiter

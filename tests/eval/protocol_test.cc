@@ -1,0 +1,167 @@
+#include "src/eval/protocol.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair TestPair(uint64_t seed = 7) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(pair.ok());
+  return std::move(pair).ValueOrDie();
+}
+
+ProtocolConfig SmallConfig() {
+  ProtocolConfig cfg;
+  cfg.np_ratio = 5.0;
+  cfg.sample_ratio = 0.6;
+  cfg.num_folds = 5;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(ProtocolConfigTest, Validation) {
+  ProtocolConfig cfg = SmallConfig();
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.np_ratio = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.sample_ratio = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.sample_ratio = 1.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.num_folds = 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolTest, PoolSizesMatchConfig) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  EXPECT_EQ(protocol.value().positive_count(), pair.anchor_count());
+  EXPECT_EQ(protocol.value().negative_count(), 5 * pair.anchor_count());
+}
+
+TEST(ProtocolTest, FoldLabelsMatchGroundTruth) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  FoldData fold = protocol.value().MakeFold(0);
+  for (size_t id = 0; id < fold.size(); ++id) {
+    const auto& [u1, u2] = fold.candidates.link(id);
+    EXPECT_EQ(fold.truth(id), pair.IsAnchor(u1, u2) ? 1.0 : 0.0);
+  }
+}
+
+TEST(ProtocolTest, TrainPositivesAreLabeledPositive) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  FoldData fold = protocol.value().MakeFold(2);
+  for (size_t id : fold.train_pos) EXPECT_EQ(fold.truth(id), 1.0);
+  for (size_t id : fold.train_neg) EXPECT_EQ(fold.truth(id), 0.0);
+}
+
+TEST(ProtocolTest, TrainAndTestAreDisjoint) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  for (size_t f = 0; f < 5; ++f) {
+    FoldData fold = protocol.value().MakeFold(f);
+    std::set<size_t> test(fold.test_ids.begin(), fold.test_ids.end());
+    for (size_t id : fold.train_pos) EXPECT_EQ(test.count(id), 0u);
+    for (size_t id : fold.train_neg) EXPECT_EQ(test.count(id), 0u);
+  }
+}
+
+TEST(ProtocolTest, FoldsRotateTrainingStripes) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  std::set<size_t> all_train_pos;
+  for (size_t f = 0; f < 5; ++f) {
+    FoldData fold = protocol.value().MakeFold(f);
+    for (size_t id : fold.train_pos) all_train_pos.insert(id);
+  }
+  // With γ=60% per stripe and 5 rotating stripes, the union must span
+  // multiple stripes (more than one fold's worth of links).
+  EXPECT_GT(all_train_pos.size(), pair.anchor_count() / 5);
+}
+
+TEST(ProtocolTest, SampleRatioControlsTrainSize) {
+  AlignedPair pair = TestPair();
+  ProtocolConfig small = SmallConfig();
+  small.sample_ratio = 0.2;
+  ProtocolConfig large = SmallConfig();
+  large.sample_ratio = 1.0;
+  auto p_small = Protocol::Create(pair, small);
+  auto p_large = Protocol::Create(pair, large);
+  ASSERT_TRUE(p_small.ok());
+  ASSERT_TRUE(p_large.ok());
+  FoldData f_small = p_small.value().MakeFold(0);
+  FoldData f_large = p_large.value().MakeFold(0);
+  EXPECT_LT(f_small.train_pos.size(), f_large.train_pos.size());
+  EXPECT_LT(f_small.train_neg.size(), f_large.train_neg.size());
+  // γ=1.0 keeps the whole stripe: 1/5 of positives.
+  EXPECT_EQ(f_large.train_pos.size(), pair.anchor_count() / 5);
+}
+
+TEST(ProtocolTest, TrainAnchorsMatchTrainPositives) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  FoldData fold = protocol.value().MakeFold(1);
+  ASSERT_EQ(fold.train_anchors.size(), fold.train_pos.size());
+  for (size_t k = 0; k < fold.train_pos.size(); ++k) {
+    const auto& [u1, u2] = fold.candidates.link(fold.train_pos[k]);
+    EXPECT_EQ(fold.train_anchors[k].u1, u1);
+    EXPECT_EQ(fold.train_anchors[k].u2, u2);
+  }
+}
+
+TEST(ProtocolTest, DeterministicForSameSeed) {
+  AlignedPair pair = TestPair();
+  auto p1 = Protocol::Create(pair, SmallConfig());
+  auto p2 = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  FoldData f1 = p1.value().MakeFold(3);
+  FoldData f2 = p2.value().MakeFold(3);
+  EXPECT_EQ(f1.train_pos, f2.train_pos);
+  EXPECT_EQ(f1.test_ids, f2.test_ids);
+  EXPECT_EQ(f1.candidates.links(), f2.candidates.links());
+}
+
+TEST(ProtocolTest, NegativesAreNotAnchors) {
+  AlignedPair pair = TestPair();
+  auto protocol = Protocol::Create(pair, SmallConfig());
+  ASSERT_TRUE(protocol.ok());
+  FoldData fold = protocol.value().MakeFold(0);
+  size_t positives = 0;
+  for (size_t id = 0; id < fold.size(); ++id) {
+    if (fold.truth(id) > 0.5) ++positives;
+  }
+  EXPECT_EQ(positives, pair.anchor_count());
+}
+
+TEST(ProtocolTest, RejectsTooFewAnchorsForFolds) {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "n1");
+  a.AddNodes(NodeType::kUser, 3);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "n2");
+  b.AddNodes(NodeType::kUser, 3);
+  AlignedPair tiny(std::move(a), std::move(b));
+  ASSERT_TRUE(tiny.AddAnchor(0, 0).ok());
+  ProtocolConfig cfg = SmallConfig();
+  cfg.num_folds = 5;
+  EXPECT_FALSE(Protocol::Create(tiny, cfg).ok());
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,103 @@
+#include "src/eval/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+SweepResult FakeSweep() {
+  SweepResult r;
+  r.x_label = "NP-ratio";
+  r.xs = {5.0, 10.0};
+  r.method_names = {"ActiveIter-100", "SVM-MP"};
+  r.aggregates.assign(2, std::vector<MetricAggregate>(2));
+  r.mean_seconds.assign(2, {0.1, 0.2});
+  BinaryMetrics good{60, 10, 500, 30};
+  BinaryMetrics poor{5, 50, 460, 85};
+  for (size_t xi = 0; xi < 2; ++xi) {
+    r.aggregates[0][xi].Add(good);
+    r.aggregates[1][xi].Add(poor);
+  }
+  return r;
+}
+
+TEST(ReportTest, SweepTablesContainAllBlocks) {
+  std::ostringstream os;
+  PrintSweepTables(os, FakeSweep());
+  std::string out = os.str();
+  EXPECT_NE(out.find("== F1 vs NP-ratio =="), std::string::npos);
+  EXPECT_NE(out.find("== Precision vs NP-ratio =="), std::string::npos);
+  EXPECT_NE(out.find("== Recall vs NP-ratio =="), std::string::npos);
+  EXPECT_NE(out.find("== Accuracy vs NP-ratio =="), std::string::npos);
+  EXPECT_NE(out.find("ActiveIter-100"), std::string::npos);
+  EXPECT_NE(out.find("SVM-MP"), std::string::npos);
+}
+
+TEST(ReportTest, SweepTableValuesRendered) {
+  std::ostringstream os;
+  PrintSweepTables(os, FakeSweep());
+  // good metrics: precision 60/70 = 0.857.
+  EXPECT_NE(os.str().find("0.857"), std::string::npos);
+}
+
+TEST(ReportTest, ConvergenceRendering) {
+  ConvergenceResult r;
+  r.np_ratios = {10.0, 50.0};
+  r.delta_y = {{120.0, 6.0, 0.0}, {300.0, 12.0, 1.0, 0.0}};
+  std::ostringstream os;
+  PrintConvergence(os, r);
+  std::string out = os.str();
+  EXPECT_NE(out.find("iter 4"), std::string::npos);
+  EXPECT_NE(out.find("120.0"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);  // padding for short series
+}
+
+TEST(ReportTest, ScalabilityRendering) {
+  ScalabilityResult r;
+  r.np_ratios = {5.0, 10.0};
+  r.candidate_counts = {1800, 3300};
+  r.seconds_b50 = {0.5, 1.0};
+  r.seconds_b100 = {0.9, 1.9};
+  std::ostringstream os;
+  PrintScalability(os, r);
+  EXPECT_NE(os.str().find("3300"), std::string::npos);
+  EXPECT_NE(os.str().find("ActiveIter-100"), std::string::npos);
+}
+
+TEST(ReportTest, BudgetSweepRendering) {
+  BudgetSweepResult r;
+  r.budgets = {25, 50};
+  r.active.assign(2, {});
+  r.active_rand.assign(2, {});
+  BinaryMetrics m{10, 5, 100, 20};
+  for (auto& a : r.active) a.Add(m);
+  for (auto& a : r.active_rand) a.Add(m);
+  r.iter_ref_gamma.Add(m);
+  r.iter_ref_gamma_plus.Add(m);
+  std::ostringstream os;
+  PrintBudgetSweep(os, r, 0.6);
+  std::string out = os.str();
+  EXPECT_NE(out.find("60% Iter-MPMD"), std::string::npos);
+  EXPECT_NE(out.find("70% Iter-MPMD"), std::string::npos);
+  EXPECT_NE(out.find("ActiveIter-Rand"), std::string::npos);
+}
+
+TEST(ReportTest, CsvIsTidy) {
+  std::ostringstream os;
+  WriteSweepCsv(os, FakeSweep());
+  std::string out = os.str();
+  EXPECT_NE(out.find("metric,method,x,mean,std"), std::string::npos);
+  EXPECT_NE(out.find("F1,ActiveIter-100,5,"), std::string::npos);
+  // 4 metrics x 2 methods x 2 xs + header = 17 lines.
+  size_t lines = 0, pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 17u);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,99 @@
+#include "src/eval/runners.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+class RunnersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto pair = AlignedNetworkGenerator(TinyPreset(17)).Generate();
+    ASSERT_TRUE(pair.ok());
+    pair_ = new AlignedPair(std::move(pair).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete pair_;
+    pair_ = nullptr;
+  }
+
+  static SweepOptions FastOptions() {
+    SweepOptions options;
+    options.num_folds = 5;
+    options.folds_to_run = 2;
+    options.seed = 11;
+    return options;
+  }
+
+  static AlignedPair* pair_;
+};
+
+AlignedPair* RunnersTest::pair_ = nullptr;
+
+TEST_F(RunnersTest, NpRatioSweepShape) {
+  std::vector<MethodSpec> methods = {IterMpmdSpec(),
+                                     SvmSpec(FeatureSet::kMetaPathOnly)};
+  auto result =
+      RunNpRatioSweep(*pair_, {2.0, 5.0}, 0.6, methods, FastOptions());
+  ASSERT_TRUE(result.ok());
+  const SweepResult& r = result.value();
+  EXPECT_EQ(r.xs.size(), 2u);
+  ASSERT_EQ(r.method_names.size(), 2u);
+  ASSERT_EQ(r.aggregates.size(), 2u);
+  EXPECT_EQ(r.aggregates[0].size(), 2u);
+  EXPECT_EQ(r.aggregates[0][0].f1.count(), 2u);  // folds_to_run
+}
+
+TEST_F(RunnersTest, F1DegradesWithNpRatio) {
+  std::vector<MethodSpec> methods = {IterMpmdSpec()};
+  auto result =
+      RunNpRatioSweep(*pair_, {2.0, 10.0}, 0.8, methods, FastOptions());
+  ASSERT_TRUE(result.ok());
+  // More negatives -> harder problem (allowing small-sample slack).
+  EXPECT_GE(result.value().aggregates[0][0].f1.Mean() + 0.05,
+            result.value().aggregates[0][1].f1.Mean());
+}
+
+TEST_F(RunnersTest, SampleRatioSweepShape) {
+  std::vector<MethodSpec> methods = {IterMpmdSpec()};
+  auto result = RunSampleRatioSweep(*pair_, 3.0, {0.3, 1.0}, methods,
+                                    FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().xs.size(), 2u);
+  EXPECT_EQ(result.value().aggregates[0].size(), 2u);
+}
+
+TEST_F(RunnersTest, ConvergenceAnalysisProducesTraces) {
+  auto result = RunConvergenceAnalysis(*pair_, {2.0, 5.0}, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().delta_y.size(), 2u);
+  for (const auto& series : result.value().delta_y) {
+    ASSERT_FALSE(series.empty());
+    EXPECT_EQ(series.back(), 0.0);  // converged
+  }
+}
+
+TEST_F(RunnersTest, ScalabilityAnalysisMeasuresGrowth) {
+  auto result = RunScalabilityAnalysis(*pair_, {2.0, 5.0}, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().candidate_counts.size(), 2u);
+  EXPECT_GT(result.value().candidate_counts[1],
+            result.value().candidate_counts[0]);
+  for (double s : result.value().seconds_b50) EXPECT_GT(s, 0.0);
+  for (double s : result.value().seconds_b100) EXPECT_GT(s, 0.0);
+}
+
+TEST_F(RunnersTest, BudgetSweepShape) {
+  auto result = RunBudgetSweep(*pair_, 3.0, 0.6, {5, 10}, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().active.size(), 2u);
+  EXPECT_EQ(result.value().active_rand.size(), 2u);
+  EXPECT_GT(result.value().iter_ref_gamma.f1.count(), 0u);
+  EXPECT_GT(result.value().iter_ref_gamma_plus.f1.count(), 0u);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,86 @@
+#include "src/graph/aligned_pair.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+AlignedPair MakePair(size_t users1 = 4, size_t users2 = 5) {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "net1");
+  a.AddNodes(NodeType::kUser, users1);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "net2");
+  b.AddNodes(NodeType::kUser, users2);
+  return AlignedPair(std::move(a), std::move(b));
+}
+
+TEST(AlignedPairTest, AddAnchorAndLookup) {
+  AlignedPair pair = MakePair();
+  ASSERT_TRUE(pair.AddAnchor(0, 3).ok());
+  EXPECT_TRUE(pair.IsAnchor(0, 3));
+  EXPECT_FALSE(pair.IsAnchor(0, 2));
+  EXPECT_FALSE(pair.IsAnchor(1, 3));
+  EXPECT_EQ(pair.anchor_count(), 1u);
+}
+
+TEST(AlignedPairTest, OneToOneConstraintEnforced) {
+  AlignedPair pair = MakePair();
+  ASSERT_TRUE(pair.AddAnchor(0, 0).ok());
+  EXPECT_EQ(pair.AddAnchor(0, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pair.AddAnchor(1, 0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(pair.AddAnchor(1, 1).ok());
+}
+
+TEST(AlignedPairTest, AnchorRangeChecked) {
+  AlignedPair pair = MakePair(2, 2);
+  EXPECT_EQ(pair.AddAnchor(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pair.AddAnchor(0, 2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(AlignedPairTest, PartnerLookups) {
+  AlignedPair pair = MakePair();
+  ASSERT_TRUE(pair.AddAnchor(1, 4).ok());
+  NodeId partner = 99;
+  EXPECT_TRUE(pair.PartnerOfFirst(1, &partner));
+  EXPECT_EQ(partner, 4u);
+  EXPECT_TRUE(pair.PartnerOfSecond(4, &partner));
+  EXPECT_EQ(partner, 1u);
+  EXPECT_FALSE(pair.PartnerOfFirst(0, &partner));
+  EXPECT_FALSE(pair.PartnerOfSecond(0, &partner));
+}
+
+TEST(AlignedPairTest, FullAnchorMatrix) {
+  AlignedPair pair = MakePair();
+  ASSERT_TRUE(pair.AddAnchor(0, 1).ok());
+  ASSERT_TRUE(pair.AddAnchor(2, 3).ok());
+  SparseMatrix m = pair.FullAnchorMatrix();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.At(0, 1), 1.0);
+  EXPECT_EQ(m.At(2, 3), 1.0);
+}
+
+TEST(AlignedPairTest, AnchorMatrixForSubset) {
+  AlignedPair pair = MakePair();
+  ASSERT_TRUE(pair.AddAnchor(0, 1).ok());
+  ASSERT_TRUE(pair.AddAnchor(2, 3).ok());
+  SparseMatrix m = pair.AnchorMatrixFor({{0, 1}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.At(0, 1), 1.0);
+  EXPECT_EQ(m.At(2, 3), 0.0);
+}
+
+TEST(AlignedPairTest, SharedAttributeValidation) {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "net1");
+  a.AddNodes(NodeType::kUser, 1);
+  a.AddNodes(NodeType::kLocation, 5);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "net2");
+  b.AddNodes(NodeType::kUser, 1);
+  b.AddNodes(NodeType::kLocation, 6);  // mismatch
+  AlignedPair pair(std::move(a), std::move(b));
+  EXPECT_EQ(pair.ValidateSharedAttributes().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,89 @@
+#include "src/graph/hetero_network.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+HeteroNetwork SmallNetwork() {
+  HeteroNetwork net(NetworkSchema::SocialNetwork(), "test-net");
+  net.AddNodes(NodeType::kUser, 3);
+  net.AddNodes(NodeType::kPost, 2);
+  net.AddNodes(NodeType::kLocation, 2);
+  net.AddNodes(NodeType::kTimestamp, 2);
+  net.AddNodes(NodeType::kWord, 1);
+  return net;
+}
+
+TEST(HeteroNetworkTest, NodeCounting) {
+  HeteroNetwork net = SmallNetwork();
+  EXPECT_EQ(net.NodeCount(NodeType::kUser), 3u);
+  EXPECT_EQ(net.NodeCount(NodeType::kPost), 2u);
+  EXPECT_EQ(net.TotalNodeCount(), 10u);
+}
+
+TEST(HeteroNetworkTest, AddNodesReturnsFirstId) {
+  HeteroNetwork net(NetworkSchema::SocialNetwork());
+  EXPECT_EQ(net.AddNodes(NodeType::kUser, 5), 0u);
+  EXPECT_EQ(net.AddNodes(NodeType::kUser, 3), 5u);
+  EXPECT_EQ(net.NodeCount(NodeType::kUser), 8u);
+}
+
+TEST(HeteroNetworkTest, AddEdgeValidatesRange) {
+  HeteroNetwork net = SmallNetwork();
+  EXPECT_TRUE(net.AddEdge(RelationType::kFollow, 0, 1).ok());
+  Status st = net.AddEdge(RelationType::kFollow, 0, 9);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  st = net.AddEdge(RelationType::kWrite, 5, 0);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(HeteroNetworkTest, AddEdgeValidatesSchema) {
+  HeteroNetwork net(NetworkSchema::UsersOnly());
+  net.AddNodes(NodeType::kUser, 2);
+  Status st = net.AddEdge(RelationType::kWrite, 0, 0);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HeteroNetworkTest, AdjacencyMatrixShape) {
+  HeteroNetwork net = SmallNetwork();
+  ASSERT_TRUE(net.AddEdge(RelationType::kWrite, 1, 0).ok());
+  SparseMatrix adj = net.AdjacencyMatrix(RelationType::kWrite);
+  EXPECT_EQ(adj.rows(), 3u);  // users
+  EXPECT_EQ(adj.cols(), 2u);  // posts
+  EXPECT_EQ(adj.At(1, 0), 1.0);
+  EXPECT_EQ(adj.At(0, 0), 0.0);
+}
+
+TEST(HeteroNetworkTest, AdjacencyDeduplicatesParallelEdges) {
+  HeteroNetwork net = SmallNetwork();
+  ASSERT_TRUE(net.AddEdge(RelationType::kFollow, 0, 1).ok());
+  ASSERT_TRUE(net.AddEdge(RelationType::kFollow, 0, 1).ok());
+  SparseMatrix adj = net.AdjacencyMatrix(RelationType::kFollow);
+  EXPECT_EQ(adj.At(0, 1), 1.0);
+  EXPECT_EQ(net.EdgeCount(RelationType::kFollow), 2u);  // raw edges kept
+}
+
+TEST(HeteroNetworkTest, FollowOutDegree) {
+  HeteroNetwork net = SmallNetwork();
+  ASSERT_TRUE(net.AddEdge(RelationType::kFollow, 0, 1).ok());
+  ASSERT_TRUE(net.AddEdge(RelationType::kFollow, 0, 2).ok());
+  EXPECT_EQ(net.FollowOutDegree(0), 2u);
+  EXPECT_EQ(net.FollowOutDegree(1), 0u);
+}
+
+TEST(HeteroNetworkTest, ToStringMentionsName) {
+  HeteroNetwork net = SmallNetwork();
+  EXPECT_NE(net.ToString().find("test-net"), std::string::npos);
+}
+
+TEST(HeteroNetworkTest, TotalEdgeCount) {
+  HeteroNetwork net = SmallNetwork();
+  ASSERT_TRUE(net.AddEdge(RelationType::kFollow, 0, 1).ok());
+  ASSERT_TRUE(net.AddEdge(RelationType::kWrite, 0, 0).ok());
+  ASSERT_TRUE(net.AddEdge(RelationType::kCheckin, 0, 1).ok());
+  EXPECT_EQ(net.TotalEdgeCount(), 3u);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,107 @@
+#include "src/graph/incidence.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair MakePair() {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "net1");
+  a.AddNodes(NodeType::kUser, 3);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "net2");
+  b.AddNodes(NodeType::kUser, 3);
+  return AlignedPair(std::move(a), std::move(b));
+}
+
+CandidateLinkSet MakeCandidates() {
+  // Links: 0:(0,0) 1:(0,1) 2:(1,0) 3:(1,1) 4:(2,2)
+  CandidateLinkSet c;
+  c.Add(0, 0);
+  c.Add(0, 1);
+  c.Add(1, 0);
+  c.Add(1, 1);
+  c.Add(2, 2);
+  return c;
+}
+
+TEST(CandidateLinkSetTest, AddReturnsIds) {
+  CandidateLinkSet c;
+  EXPECT_EQ(c.Add(1, 2), 0u);
+  EXPECT_EQ(c.Add(3, 4), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.link(1).first, 3u);
+}
+
+TEST(IncidenceIndexTest, LinksPerUser) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  EXPECT_EQ(index.LinksOfFirst(0), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(index.LinksOfSecond(0), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(index.LinksOfFirst(2), (std::vector<size_t>{4}));
+}
+
+TEST(IncidenceIndexTest, ConflictingLinks) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  // Link 0 = (0,0): conflicts with 1 (shares u1=0) and 2 (shares u2=0).
+  std::vector<size_t> conflicts = index.ConflictingLinks(0);
+  std::sort(conflicts.begin(), conflicts.end());
+  EXPECT_EQ(conflicts, (std::vector<size_t>{1, 2}));
+  // Link 4 = (2,2) conflicts with nothing.
+  EXPECT_TRUE(index.ConflictingLinks(4).empty());
+}
+
+TEST(IncidenceIndexTest, IncidenceMatricesMatchDefinition) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  SparseMatrix a1 = index.FirstIncidenceMatrix();
+  EXPECT_EQ(a1.rows(), 3u);
+  EXPECT_EQ(a1.cols(), 5u);
+  EXPECT_EQ(a1.At(0, 0), 1.0);
+  EXPECT_EQ(a1.At(0, 1), 1.0);
+  EXPECT_EQ(a1.At(1, 2), 1.0);
+  EXPECT_EQ(a1.At(2, 4), 1.0);
+  // Each column has exactly one 1 (each link touches one user per side).
+  Vector col_sums = a1.ColSums();
+  for (size_t j = 0; j < 5; ++j) EXPECT_EQ(col_sums(j), 1.0);
+}
+
+TEST(IncidenceIndexTest, DegreesAreIncidenceTimesLabels) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  Vector y = {1.0, 0.0, 0.0, 1.0, 1.0};
+  Vector d1 = index.FirstDegrees(y);
+  EXPECT_EQ(d1(0), 1.0);
+  EXPECT_EQ(d1(1), 1.0);
+  EXPECT_EQ(d1(2), 1.0);
+  // Cross-check against the sparse incidence matrix product.
+  Vector d1_mat = SpMv(index.FirstIncidenceMatrix(), y);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(d1(i), d1_mat(i));
+}
+
+TEST(IncidenceIndexTest, OneToOneSatisfied) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  EXPECT_TRUE(index.SatisfiesOneToOne(Vector{1.0, 0.0, 0.0, 1.0, 1.0}));
+  // Links 0 and 1 share u1=0 -> degree 2 violates the constraint.
+  EXPECT_FALSE(index.SatisfiesOneToOne(Vector{1.0, 1.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(IncidenceIndexDeathTest, OutOfRangeEndpointDies) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c;
+  c.Add(7, 0);
+  EXPECT_DEATH(IncidenceIndex(pair, c), "out of range");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,125 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair GeneratedPair(uint64_t seed = 9) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(pair.ok());
+  return std::move(pair).ValueOrDie();
+}
+
+TEST(IoTest, RoundTripPreservesEverything) {
+  AlignedPair original = GeneratedPair();
+  std::stringstream buffer;
+  SaveAlignedPair(original, &buffer);
+  auto loaded = LoadAlignedPair(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const AlignedPair& copy = loaded.value();
+
+  EXPECT_EQ(copy.first().name(), original.first().name());
+  EXPECT_EQ(copy.anchors(), original.anchors());
+  for (NodeType t : {NodeType::kUser, NodeType::kPost, NodeType::kWord,
+                     NodeType::kLocation, NodeType::kTimestamp}) {
+    EXPECT_EQ(copy.first().NodeCount(t), original.first().NodeCount(t));
+    EXPECT_EQ(copy.second().NodeCount(t), original.second().NodeCount(t));
+  }
+  for (RelationType r :
+       {RelationType::kFollow, RelationType::kWrite, RelationType::kAt,
+        RelationType::kCheckin, RelationType::kContain}) {
+    EXPECT_TRUE(copy.first().AdjacencyMatrix(r).Equals(
+        original.first().AdjacencyMatrix(r)))
+        << RelationTypeName(r);
+    EXPECT_TRUE(copy.second().AdjacencyMatrix(r).Equals(
+        original.second().AdjacencyMatrix(r)))
+        << RelationTypeName(r);
+  }
+}
+
+TEST(IoTest, RejectsBadMagic) {
+  std::stringstream buffer("not-an-aligned-pair\n");
+  auto loaded = LoadAlignedPair(&buffer);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, RejectsTruncatedEdgeList) {
+  AlignedPair original = GeneratedPair();
+  std::stringstream buffer;
+  SaveAlignedPair(original, &buffer);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(LoadAlignedPair(&truncated).ok());
+}
+
+TEST(IoTest, RejectsOutOfRangeEdge) {
+  std::stringstream buffer;
+  buffer << "activeiter-aligned-pair v1\n"
+         << "network a\n"
+         << "nodes 2 0 0 0 0\n"
+         << "edges follow 1\n"
+         << "0 9\n"  // node 9 does not exist
+         << "edges write 0\nedges at 0\nedges checkin 0\nedges contain 0\n"
+         << "network b\n"
+         << "nodes 2 0 0 0 0\n"
+         << "edges follow 0\nedges write 0\nedges at 0\nedges checkin 0\n"
+         << "edges contain 0\n"
+         << "anchors 0\n";
+  auto loaded = LoadAlignedPair(&buffer);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, RejectsDuplicateAnchor) {
+  std::stringstream buffer;
+  buffer << "activeiter-aligned-pair v1\n"
+         << "network a\nnodes 2 0 0 0 0\n"
+         << "edges follow 0\nedges write 0\nedges at 0\nedges checkin 0\n"
+         << "edges contain 0\n"
+         << "network b\nnodes 2 0 0 0 0\n"
+         << "edges follow 0\nedges write 0\nedges at 0\nedges checkin 0\n"
+         << "edges contain 0\n"
+         << "anchors 2\n0 0\n0 1\n";  // user 0 anchored twice
+  auto loaded = LoadAlignedPair(&buffer);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IoTest, MinimalPairParses) {
+  std::stringstream buffer;
+  buffer << "activeiter-aligned-pair v1\n"
+         << "network left\nnodes 1 0 0 0 0\n"
+         << "edges follow 0\nedges write 0\nedges at 0\nedges checkin 0\n"
+         << "edges contain 0\n"
+         << "network right\nnodes 1 0 0 0 0\n"
+         << "edges follow 0\nedges write 0\nedges at 0\nedges checkin 0\n"
+         << "edges contain 0\n"
+         << "anchors 1\n0 0\n";
+  auto loaded = LoadAlignedPair(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().anchor_count(), 1u);
+  EXPECT_TRUE(loaded.value().IsAnchor(0, 0));
+}
+
+TEST(IoTest, FileRoundTrip) {
+  AlignedPair original = GeneratedPair(12);
+  std::string path = testing::TempDir() + "/activeiter_io_test_pair.txt";
+  ASSERT_TRUE(SaveAlignedPairToFile(original, path).ok());
+  auto loaded = LoadAlignedPairFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().anchors(), original.anchors());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto loaded = LoadAlignedPairFromFile("/nonexistent/dir/pair.txt");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace activeiter

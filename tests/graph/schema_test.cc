@@ -1,0 +1,73 @@
+#include "src/graph/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(SchemaTest, SocialNetworkContainsAllTypes) {
+  NetworkSchema s = NetworkSchema::SocialNetwork();
+  EXPECT_TRUE(s.HasNodeType(NodeType::kUser));
+  EXPECT_TRUE(s.HasNodeType(NodeType::kPost));
+  EXPECT_TRUE(s.HasNodeType(NodeType::kWord));
+  EXPECT_TRUE(s.HasNodeType(NodeType::kLocation));
+  EXPECT_TRUE(s.HasNodeType(NodeType::kTimestamp));
+  EXPECT_TRUE(s.HasRelation(RelationType::kFollow));
+  EXPECT_TRUE(s.HasRelation(RelationType::kCheckin));
+}
+
+TEST(SchemaTest, UsersOnlyIsRestricted) {
+  NetworkSchema s = NetworkSchema::UsersOnly();
+  EXPECT_TRUE(s.HasNodeType(NodeType::kUser));
+  EXPECT_FALSE(s.HasNodeType(NodeType::kPost));
+  EXPECT_TRUE(s.HasRelation(RelationType::kFollow));
+  EXPECT_FALSE(s.HasRelation(RelationType::kWrite));
+}
+
+TEST(SchemaTest, RelationEndpointTypes) {
+  EXPECT_EQ(RelationSourceType(RelationType::kFollow), NodeType::kUser);
+  EXPECT_EQ(RelationTargetType(RelationType::kFollow), NodeType::kUser);
+  EXPECT_EQ(RelationSourceType(RelationType::kWrite), NodeType::kUser);
+  EXPECT_EQ(RelationTargetType(RelationType::kWrite), NodeType::kPost);
+  EXPECT_EQ(RelationTargetType(RelationType::kAt), NodeType::kTimestamp);
+  EXPECT_EQ(RelationTargetType(RelationType::kCheckin), NodeType::kLocation);
+  EXPECT_EQ(RelationTargetType(RelationType::kContain), NodeType::kWord);
+}
+
+TEST(SchemaTest, ValidateStepForward) {
+  NetworkSchema s = NetworkSchema::SocialNetwork();
+  EXPECT_TRUE(s.ValidateStep(NodeType::kUser, RelationType::kWrite,
+                             NodeType::kPost, /*forward=*/true)
+                  .ok());
+  EXPECT_FALSE(s.ValidateStep(NodeType::kUser, RelationType::kWrite,
+                              NodeType::kWord, true)
+                   .ok());
+}
+
+TEST(SchemaTest, ValidateStepReverse) {
+  NetworkSchema s = NetworkSchema::SocialNetwork();
+  EXPECT_TRUE(s.ValidateStep(NodeType::kPost, RelationType::kWrite,
+                             NodeType::kUser, /*forward=*/false)
+                  .ok());
+  EXPECT_FALSE(s.ValidateStep(NodeType::kPost, RelationType::kWrite,
+                              NodeType::kUser, true)
+                   .ok());
+}
+
+TEST(SchemaTest, ValidateRejectsMissingRelation) {
+  NetworkSchema s = NetworkSchema::UsersOnly();
+  Status st = s.ValidateStep(NodeType::kUser, RelationType::kWrite,
+                             NodeType::kPost, true);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, NamesAreHumanReadable) {
+  EXPECT_STREQ(NodeTypeName(NodeType::kTimestamp), "Timestamp");
+  EXPECT_STREQ(RelationTypeName(RelationType::kCheckin), "checkin");
+  NetworkSchema s = NetworkSchema::SocialNetwork();
+  EXPECT_NE(s.ToString().find("User"), std::string::npos);
+  EXPECT_NE(s.ToString().find("follow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,126 @@
+// End-to-end integration tests: generate an aligned pair, build folds,
+// run the full method suite, and check the paper's qualitative orderings.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/stats.h"
+#include "src/eval/report.h"
+#include "src/eval/runners.h"
+
+namespace activeiter {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig cfg = TinyPreset(23);
+    cfg.shared_users = 120;
+    cfg.first.extra_users = 25;
+    cfg.second.extra_users = 30;
+    auto pair = AlignedNetworkGenerator(cfg).Generate();
+    ASSERT_TRUE(pair.ok());
+    pair_ = new AlignedPair(std::move(pair).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete pair_;
+    pair_ = nullptr;
+  }
+
+  static SweepOptions Options() {
+    SweepOptions options;
+    options.num_folds = 5;
+    options.folds_to_run = 3;
+    options.seed = 77;
+    return options;
+  }
+
+  static AlignedPair* pair_;
+};
+
+AlignedPair* EndToEndTest::pair_ = nullptr;
+
+TEST_F(EndToEndTest, DatasetTableRenders) {
+  std::string table = RenderDatasetTable(*pair_);
+  EXPECT_NE(table.find("# node: user"), std::string::npos);
+  EXPECT_NE(table.find("145"), std::string::npos);  // 120 + 25 users
+}
+
+TEST_F(EndToEndTest, FullSuiteRunsAtModerateTheta) {
+  auto result = RunNpRatioSweep(*pair_, {5.0}, 0.6, PaperMethodSuite(),
+                                Options());
+  ASSERT_TRUE(result.ok());
+  const SweepResult& r = result.value();
+  ASSERT_EQ(r.method_names.size(), 6u);
+
+  auto f1_of = [&](const std::string& name) {
+    for (size_t m = 0; m < r.method_names.size(); ++m) {
+      if (r.method_names[m] == name) return r.aggregates[m][0].f1.Mean();
+    }
+    ADD_FAILURE() << name << " missing";
+    return 0.0;
+  };
+
+  // Paper orderings (qualitative, with small-sample tolerance):
+  // (1) the PU iterative family beats the SVM family;
+  EXPECT_GT(f1_of("Iter-MPMD") + 1e-9, f1_of("SVM-MPMD"));
+  // (2) meta diagrams help the SVM;
+  EXPECT_GE(f1_of("SVM-MPMD") + 0.05, f1_of("SVM-MP"));
+  // (3) active querying does not hurt the PU model;
+  EXPECT_GE(f1_of("ActiveIter-100") + 0.02, f1_of("Iter-MPMD"));
+  // (4) bigger budget does not hurt.
+  EXPECT_GE(f1_of("ActiveIter-100") + 0.02, f1_of("ActiveIter-50"));
+
+  // All methods produce valid aggregate metrics.
+  for (size_t m = 0; m < r.method_names.size(); ++m) {
+    EXPECT_GE(r.aggregates[m][0].accuracy.Mean(), 0.5);
+    EXPECT_LE(r.aggregates[m][0].f1.Mean(), 1.0);
+  }
+}
+
+TEST_F(EndToEndTest, ActiveIterRecoversSubstantialF1) {
+  // The planted signal is strong at tiny scale; the full model should
+  // clearly beat the trivial all-negative predictor (F1 = 0).
+  auto result =
+      RunNpRatioSweep(*pair_, {5.0}, 0.6, {ActiveIterSpec(50)}, Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().aggregates[0][0].f1.Mean(), 0.25);
+}
+
+TEST_F(EndToEndTest, ReportsRenderForRealSweep) {
+  auto result = RunNpRatioSweep(*pair_, {3.0, 6.0}, 0.6,
+                                {IterMpmdSpec()}, Options());
+  ASSERT_TRUE(result.ok());
+  std::ostringstream tables, csv;
+  PrintSweepTables(tables, result.value());
+  WriteSweepCsv(csv, result.value());
+  EXPECT_NE(tables.str().find("Iter-MPMD"), std::string::npos);
+  EXPECT_NE(csv.str().find("Accuracy,Iter-MPMD,6,"), std::string::npos);
+}
+
+TEST_F(EndToEndTest, ConvergenceWithinFiveIterations) {
+  // Figure 3's claim on real (synthetic) data.
+  auto result = RunConvergenceAnalysis(*pair_, {3.0, 6.0}, Options());
+  ASSERT_TRUE(result.ok());
+  for (const auto& series : result.value().delta_y) {
+    EXPECT_LE(series.size(), 8u);
+    EXPECT_EQ(series.back(), 0.0);
+  }
+}
+
+TEST_F(EndToEndTest, WholePipelineIsDeterministic) {
+  auto a = RunNpRatioSweep(*pair_, {4.0}, 0.6, {ActiveIterSpec(20)},
+                           Options());
+  auto b = RunNpRatioSweep(*pair_, {4.0}, 0.6, {ActiveIterSpec(20)},
+                           Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().aggregates[0][0].f1.Mean(),
+            b.value().aggregates[0][0].f1.Mean());
+  EXPECT_EQ(a.value().aggregates[0][0].recall.Mean(),
+            b.value().aggregates[0][0].recall.Mean());
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,76 @@
+// Parameterised end-to-end property sweep: the paper's qualitative
+// orderings must hold across independently generated datasets, not just
+// the default seed. Each instantiation generates its own aligned pair and
+// checks the invariants the reproduction rests on.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/eval/runners.h"
+
+namespace activeiter {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static AlignedPair MakeData(uint64_t seed) {
+    GeneratorConfig cfg = TinyPreset(seed);
+    cfg.shared_users = 120;
+    cfg.first.extra_users = 25;
+    cfg.second.extra_users = 30;
+    auto pair = AlignedNetworkGenerator(cfg).Generate();
+    EXPECT_TRUE(pair.ok());
+    return std::move(pair).ValueOrDie();
+  }
+
+  static SweepOptions Options(uint64_t seed) {
+    SweepOptions options;
+    options.num_folds = 5;
+    options.folds_to_run = 2;
+    options.seed = seed * 31 + 7;
+    return options;
+  }
+};
+
+TEST_P(SeedSweepTest, PaperOrderingsHold) {
+  uint64_t seed = GetParam();
+  AlignedPair pair = MakeData(seed);
+  auto result = RunNpRatioSweep(pair, {6.0}, 0.6, PaperMethodSuite(),
+                                Options(seed));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SweepResult& r = result.value();
+  auto f1_of = [&](const std::string& name) {
+    for (size_t m = 0; m < r.method_names.size(); ++m) {
+      if (r.method_names[m] == name) return r.aggregates[m][0].f1.Mean();
+    }
+    ADD_FAILURE() << name;
+    return 0.0;
+  };
+  // PU family beats the SVM family, which beats the path-only SVM.
+  EXPECT_GT(f1_of("Iter-MPMD") + 0.05, f1_of("SVM-MPMD")) << "seed " << seed;
+  EXPECT_GT(f1_of("SVM-MPMD"), f1_of("SVM-MP")) << "seed " << seed;
+  // Active querying does not hurt, and more budget does not hurt.
+  EXPECT_GE(f1_of("ActiveIter-100") + 0.03, f1_of("Iter-MPMD"))
+      << "seed " << seed;
+  EXPECT_GE(f1_of("ActiveIter-100") + 0.03, f1_of("ActiveIter-50"))
+      << "seed " << seed;
+  // The model is far better than the trivial all-negative predictor.
+  EXPECT_GT(f1_of("ActiveIter-100"), 0.3) << "seed " << seed;
+}
+
+TEST_P(SeedSweepTest, ConvergenceIsExactAndFast) {
+  uint64_t seed = GetParam();
+  AlignedPair pair = MakeData(seed);
+  auto result = RunConvergenceAnalysis(pair, {4.0}, Options(seed));
+  ASSERT_TRUE(result.ok());
+  const auto& series = result.value().delta_y.front();
+  EXPECT_EQ(series.back(), 0.0) << "seed " << seed;
+  EXPECT_LE(series.size(), 15u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,60 @@
+#include "src/learn/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+Dataset MakeData() {
+  Dataset d;
+  d.x = Matrix(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    d.x(i, 0) = static_cast<double>(i);
+    d.x(i, 1) = 1.0;
+  }
+  d.y = Vector{1.0, 0.0, 1.0, 0.0};
+  return d;
+}
+
+TEST(DatasetTest, CountPositives) {
+  EXPECT_EQ(MakeData().CountPositives(), 2u);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  Dataset d = MakeData();
+  Dataset sub = d.Subset({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.x(0, 0), 2.0);
+  EXPECT_EQ(sub.y(0), 1.0);
+  EXPECT_EQ(sub.x(1, 0), 0.0);
+  EXPECT_EQ(sub.y(1), 1.0);
+}
+
+TEST(DatasetTest, SubsetEmpty) {
+  Dataset sub = MakeData().Subset({});
+  EXPECT_EQ(sub.size(), 0u);
+}
+
+TEST(DatasetTest, ConcatStacksRows) {
+  Dataset a = MakeData();
+  Dataset b = MakeData().Subset({1});
+  Dataset c = Dataset::Concat(a, b);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.x(4, 0), 1.0);
+  EXPECT_EQ(c.y(4), 0.0);
+}
+
+TEST(DatasetTest, ConcatWithEmpty) {
+  Dataset a = MakeData();
+  Dataset empty;
+  EXPECT_EQ(Dataset::Concat(a, empty).size(), 4u);
+  EXPECT_EQ(Dataset::Concat(empty, a).size(), 4u);
+}
+
+TEST(DatasetDeathTest, SubsetOutOfRangeDies) {
+  Dataset d = MakeData();
+  EXPECT_DEATH(d.Subset({9}), "");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,161 @@
+#include "src/learn/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace activeiter {
+namespace {
+
+/// Linearly separable blobs around (±2, ±2) with a bias column.
+Dataset SeparableBlobs(size_t n_per_class, uint64_t seed, double sep = 2.0) {
+  Rng rng(seed);
+  Dataset data;
+  data.x = Matrix(2 * n_per_class, 3);
+  data.y = Vector(2 * n_per_class);
+  for (size_t i = 0; i < 2 * n_per_class; ++i) {
+    bool positive = i < n_per_class;
+    data.x(i, 0) = rng.Normal(positive ? sep : -sep, 0.5);
+    data.x(i, 1) = rng.Normal(positive ? sep : -sep, 0.5);
+    data.x(i, 2) = 1.0;  // bias
+    data.y(i) = positive ? 1.0 : 0.0;
+  }
+  return data;
+}
+
+TEST(LinearSvmTest, RejectsEmptyData) {
+  Dataset empty;
+  EXPECT_FALSE(LinearSvm::Train(empty).ok());
+}
+
+TEST(LinearSvmTest, RejectsBadOptions) {
+  Dataset data = SeparableBlobs(5, 1);
+  SvmOptions options;
+  options.c = 0.0;
+  EXPECT_FALSE(LinearSvm::Train(data, options).ok());
+  options = SvmOptions();
+  options.positive_weight = -1.0;
+  EXPECT_FALSE(LinearSvm::Train(data, options).ok());
+}
+
+TEST(LinearSvmTest, SeparatesBlobs) {
+  Dataset data = SeparableBlobs(50, 2);
+  auto svm = LinearSvm::Train(data);
+  ASSERT_TRUE(svm.ok());
+  Vector pred = svm.value().Predict(data.x);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred(i) == data.y(i)) ++correct;
+  }
+  EXPECT_EQ(correct, pred.size());
+}
+
+TEST(LinearSvmTest, DecisionSignMatchesPrediction) {
+  Dataset data = SeparableBlobs(30, 3);
+  auto svm = LinearSvm::Train(data);
+  ASSERT_TRUE(svm.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    double decision = svm.value().Decision(data.x.Row(i));
+    double pred = svm.value().PredictRow(data.x, i);
+    EXPECT_EQ(pred, decision > 0.0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(LinearSvmTest, DeterministicForSameSeed) {
+  Dataset data = SeparableBlobs(40, 4);
+  SvmOptions options;
+  options.seed = 99;
+  auto a = LinearSvm::Train(data, options);
+  auto b = LinearSvm::Train(data, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((a.value().weights() - b.value().weights()).NormInf(), 0.0);
+}
+
+TEST(LinearSvmTest, AllNegativeTrainingPredictsNegative) {
+  // Degenerate single-class data (the SVM-MP regime at high θ and low γ in
+  // the paper): the learned model must not hallucinate positives.
+  Dataset data;
+  data.x = Matrix(20, 2);
+  data.y = Vector(20);  // all zeros
+  Rng rng(5);
+  for (size_t i = 0; i < 20; ++i) {
+    data.x(i, 0) = rng.Normal();
+    data.x(i, 1) = 1.0;
+  }
+  auto svm = LinearSvm::Train(data);
+  ASSERT_TRUE(svm.ok());
+  Vector pred = svm.value().Predict(data.x);
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(pred(i), 0.0);
+}
+
+TEST(LinearSvmTest, PositiveWeightCountersImbalance) {
+  // 5 positives vs 200 negatives with overlap: up-weighting positives
+  // should recover at least as many true positives.
+  Rng rng(6);
+  Dataset data;
+  const size_t pos = 5, neg = 200;
+  data.x = Matrix(pos + neg, 3);
+  data.y = Vector(pos + neg);
+  for (size_t i = 0; i < pos + neg; ++i) {
+    bool positive = i < pos;
+    data.x(i, 0) = rng.Normal(positive ? 1.0 : -0.3, 0.8);
+    data.x(i, 1) = rng.Normal(positive ? 1.0 : -0.3, 0.8);
+    data.x(i, 2) = 1.0;
+    data.y(i) = positive ? 1.0 : 0.0;
+  }
+  SvmOptions balanced;
+  balanced.positive_weight = static_cast<double>(neg) / pos;
+  auto plain = LinearSvm::Train(data);
+  auto weighted = LinearSvm::Train(data, balanced);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(weighted.ok());
+  auto recall = [&](const LinearSvm& model) {
+    size_t tp = 0;
+    for (size_t i = 0; i < pos; ++i) {
+      if (model.PredictRow(data.x, i) > 0.5) ++tp;
+    }
+    return tp;
+  };
+  EXPECT_GE(recall(weighted.value()), recall(plain.value()));
+}
+
+TEST(LinearSvmTest, ConvergesBeforeEpochCap) {
+  Dataset data = SeparableBlobs(50, 7);
+  SvmOptions options;
+  options.max_epochs = 500;
+  auto svm = LinearSvm::Train(data, options);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_LT(svm.value().epochs_run(), 500u);
+}
+
+TEST(LinearSvmTest, ZeroRowsCarryNoSignal) {
+  // All-zero feature rows (candidate pairs with no meta-diagram instances
+  // at all) must not destabilise training.
+  Dataset data = SeparableBlobs(10, 8);
+  for (size_t j = 0; j < data.x.cols(); ++j) data.x(3, j) = 0.0;
+  auto svm = LinearSvm::Train(data);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_EQ(svm.value().PredictRow(data.x, 3), 0.0);
+}
+
+// Property sweep: margin scales sensibly with separation.
+class SvmSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmSeparationSweep, TrainAccuracyHighWhenSeparated) {
+  Dataset data = SeparableBlobs(40, 11, GetParam());
+  auto svm = LinearSvm::Train(data);
+  ASSERT_TRUE(svm.ok());
+  Vector pred = svm.value().Predict(data.x);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred(i) == data.y(i)) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / pred.size(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, SvmSeparationSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace activeiter

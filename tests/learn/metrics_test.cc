@@ -1,0 +1,110 @@
+#include "src/learn/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(BinaryMetricsTest, PerfectPrediction) {
+  Vector truth = {1.0, 0.0, 1.0, 0.0};
+  BinaryMetrics m = ComputeBinaryMetrics(truth, truth);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.tn, 2u);
+  EXPECT_EQ(m.F1(), 1.0);
+  EXPECT_EQ(m.Accuracy(), 1.0);
+}
+
+TEST(BinaryMetricsTest, HandComputedCase) {
+  Vector truth = {1, 1, 1, 0, 0, 0, 0, 0};
+  Vector pred = {1, 0, 0, 1, 0, 0, 0, 0};
+  BinaryMetrics m = ComputeBinaryMetrics(truth, pred);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fn, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 4u);
+  EXPECT_NEAR(m.Precision(), 0.5, 1e-12);
+  EXPECT_NEAR(m.Recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.F1(), 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0), 1e-12);
+  EXPECT_NEAR(m.Accuracy(), 5.0 / 8.0, 1e-12);
+}
+
+TEST(BinaryMetricsTest, DegenerateDenominatorsYieldZero) {
+  // No predicted positives: precision & F1 = 0 (SVM-MP at high θ).
+  Vector truth = {1.0, 0.0};
+  Vector pred = {0.0, 0.0};
+  BinaryMetrics m = ComputeBinaryMetrics(truth, pred);
+  EXPECT_EQ(m.Precision(), 0.0);
+  EXPECT_EQ(m.Recall(), 0.0);
+  EXPECT_EQ(m.F1(), 0.0);
+  EXPECT_EQ(m.Accuracy(), 0.5);
+}
+
+TEST(BinaryMetricsTest, AccuracyMisleadingUnderImbalance) {
+  // The paper's observation: an all-negative predictor reaches accuracy
+  // θ/(θ+1) while its F1 is 0.
+  size_t theta = 50;
+  Vector truth(theta + 1);
+  truth(0) = 1.0;
+  Vector pred(theta + 1);  // all negative
+  BinaryMetrics m = ComputeBinaryMetrics(truth, pred);
+  EXPECT_EQ(m.F1(), 0.0);
+  EXPECT_NEAR(m.Accuracy(), static_cast<double>(theta) / (theta + 1), 1e-12);
+}
+
+TEST(BinaryMetricsTest, RestrictedEvaluationSubset) {
+  Vector truth = {1.0, 0.0, 1.0, 0.0};
+  Vector pred = {1.0, 1.0, 0.0, 0.0};
+  BinaryMetrics m = ComputeBinaryMetricsOn(truth, pred, {0, 3});
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(m.Total(), 2u);
+}
+
+TEST(BinaryMetricsTest, ToStringContainsCounts) {
+  BinaryMetrics m{1, 2, 3, 4};
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("tp=1"), std::string::npos);
+  EXPECT_NE(s.find("fn=4"), std::string::npos);
+}
+
+TEST(MeanStdTest, MeanAndStd) {
+  MeanStd agg;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) agg.Add(v);
+  EXPECT_EQ(agg.count(), 8u);
+  EXPECT_NEAR(agg.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(agg.Std(), 2.0, 1e-12);  // classic example
+}
+
+TEST(MeanStdTest, EmptyIsZero) {
+  MeanStd agg;
+  EXPECT_EQ(agg.Mean(), 0.0);
+  EXPECT_EQ(agg.Std(), 0.0);
+}
+
+TEST(MeanStdTest, SingleValueHasZeroStd) {
+  MeanStd agg;
+  agg.Add(3.5);
+  EXPECT_EQ(agg.Mean(), 3.5);
+  EXPECT_EQ(agg.Std(), 0.0);
+}
+
+TEST(MetricAggregateTest, AccumulatesAllFourMetrics) {
+  MetricAggregate agg;
+  BinaryMetrics perfect{5, 0, 5, 0};
+  BinaryMetrics poor{0, 5, 5, 5};
+  agg.Add(perfect);
+  agg.Add(poor);
+  EXPECT_EQ(agg.f1.count(), 2u);
+  EXPECT_NEAR(agg.f1.Mean(), 0.5, 1e-12);
+  EXPECT_NEAR(agg.accuracy.Mean(), (1.0 + 1.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsDeathTest, SizeMismatchDies) {
+  Vector truth(2), pred(3);
+  EXPECT_DEATH(ComputeBinaryMetrics(truth, pred), "");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,150 @@
+#include "src/linalg/sparse_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace activeiter {
+namespace {
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) {
+        trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         rng.Normal()});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(trips));
+}
+
+TEST(SpGemmTest, MatchesDenseProduct) {
+  SparseMatrix a = RandomSparse(6, 8, 0.3, 1);
+  SparseMatrix b = RandomSparse(8, 5, 0.3, 2);
+  Matrix expected = a.ToDense().MatMul(b.ToDense());
+  Matrix actual = SpGemm(a, b).ToDense();
+  EXPECT_LT(Matrix::MaxAbsDiff(actual, expected), 1e-10);
+}
+
+TEST(SpGemmTest, IdentityNeutral) {
+  SparseMatrix a = RandomSparse(5, 5, 0.4, 3);
+  SparseMatrix id = SparseMatrix::Identity(5);
+  EXPECT_TRUE(SpGemm(a, id).Equals(a, 1e-12));
+  EXPECT_TRUE(SpGemm(id, a).Equals(a, 1e-12));
+}
+
+TEST(SpGemmTest, EmptyOperandGivesEmptyResult) {
+  SparseMatrix a(3, 4);
+  SparseMatrix b = RandomSparse(4, 2, 0.5, 4);
+  EXPECT_EQ(SpGemm(a, b).nnz(), 0u);
+}
+
+TEST(SpGemmTest, PathCountingSemantics) {
+  // Adjacency of a 3-node chain 0->1->2: squared counts 2-step paths.
+  auto adj = SparseMatrix::FromTriplets(3, 3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  auto two_step = SpGemm(adj, adj);
+  EXPECT_EQ(two_step.nnz(), 1u);
+  EXPECT_EQ(two_step.At(0, 2), 1.0);
+}
+
+TEST(TransposeTest, MatchesDense) {
+  SparseMatrix a = RandomSparse(4, 7, 0.3, 5);
+  EXPECT_LT(Matrix::MaxAbsDiff(Transpose(a).ToDense(),
+                               a.ToDense().Transpose()),
+            1e-12);
+}
+
+TEST(TransposeTest, Involution) {
+  SparseMatrix a = RandomSparse(5, 6, 0.4, 6);
+  EXPECT_TRUE(Transpose(Transpose(a)).Equals(a, 0.0));
+}
+
+TEST(HadamardTest, MatchesElementwise) {
+  SparseMatrix a = RandomSparse(5, 5, 0.5, 7);
+  SparseMatrix b = RandomSparse(5, 5, 0.5, 8);
+  SparseMatrix h = Hadamard(a, b);
+  Matrix da = a.ToDense(), db = b.ToDense();
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(h.At(i, j), da(i, j) * db(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(HadamardTest, SupportIsIntersection) {
+  auto a = SparseMatrix::FromTriplets(2, 2, {{0, 0, 2.0}, {0, 1, 3.0}});
+  auto b = SparseMatrix::FromTriplets(2, 2, {{0, 1, 4.0}, {1, 1, 5.0}});
+  SparseMatrix h = Hadamard(a, b);
+  EXPECT_EQ(h.nnz(), 1u);
+  EXPECT_EQ(h.At(0, 1), 12.0);
+}
+
+TEST(AddTest, MatchesDense) {
+  SparseMatrix a = RandomSparse(4, 4, 0.4, 9);
+  SparseMatrix b = RandomSparse(4, 4, 0.4, 10);
+  EXPECT_LT(Matrix::MaxAbsDiff(Add(a, b).ToDense(),
+                               a.ToDense() + b.ToDense()),
+            1e-12);
+}
+
+TEST(ScaleTest, MultipliesValues) {
+  auto a = SparseMatrix::FromTriplets(1, 2, {{0, 0, 2.0}, {0, 1, -3.0}});
+  SparseMatrix s = Scale(a, -2.0);
+  EXPECT_EQ(s.At(0, 0), -4.0);
+  EXPECT_EQ(s.At(0, 1), 6.0);
+}
+
+TEST(SpMvTest, MatchesDense) {
+  SparseMatrix a = RandomSparse(6, 4, 0.5, 11);
+  Vector x = {1.0, -1.0, 2.0, 0.5};
+  Vector fast = SpMv(a, x);
+  Vector slow = a.ToDense().MatVec(x);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(fast(i), slow(i), 1e-12);
+}
+
+TEST(BinarizeTest, AllValuesBecomeOne) {
+  auto a = SparseMatrix::FromTriplets(2, 2, {{0, 0, 7.0}, {1, 1, -2.0}});
+  SparseMatrix b = Binarize(a);
+  EXPECT_EQ(b.At(0, 0), 1.0);
+  EXPECT_EQ(b.At(1, 1), 1.0);
+  EXPECT_EQ(b.nnz(), 2u);
+}
+
+TEST(MaskBySupportTest, KeepsOnlySupportedEntries) {
+  auto a = SparseMatrix::FromTriplets(2, 2,
+                                      {{0, 0, 3.0}, {0, 1, 4.0}, {1, 0, 5.0}});
+  auto support = SparseMatrix::FromTriplets(2, 2, {{0, 1, 9.0}});
+  SparseMatrix masked = MaskBySupport(a, support);
+  EXPECT_EQ(masked.nnz(), 1u);
+  EXPECT_EQ(masked.At(0, 1), 4.0);  // value kept, support value ignored
+}
+
+TEST(SparseOpsDeathTest, ShapeMismatchesDie) {
+  SparseMatrix a(2, 3), b(2, 3);
+  EXPECT_DEATH(SpGemm(a, b), "shape");
+  SparseMatrix c(3, 3);
+  EXPECT_DEATH(Hadamard(a, c), "shape");
+}
+
+// Property sweep: associativity of SpGemm across random shapes.
+class SpGemmAssociativitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpGemmAssociativitySweep, Associative) {
+  int s = GetParam();
+  SparseMatrix a = RandomSparse(4 + s, 6, 0.3, 100 + s);
+  SparseMatrix b = RandomSparse(6, 5 + s, 0.3, 200 + s);
+  SparseMatrix c = RandomSparse(5 + s, 3, 0.3, 300 + s);
+  SparseMatrix left = SpGemm(SpGemm(a, b), c);
+  SparseMatrix right = SpGemm(a, SpGemm(b, c));
+  EXPECT_TRUE(left.Equals(right, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpGemmAssociativitySweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace activeiter

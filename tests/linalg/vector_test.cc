@@ -1,0 +1,80 @@
+#include "src/linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v(0), 0.0);
+  v(1) = 2.5;
+  EXPECT_EQ(v(1), 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v(2), 3.0);
+}
+
+TEST(VectorTest, OnesAndFill) {
+  Vector v = Vector::Ones(4);
+  EXPECT_EQ(v.Sum(), 4.0);
+  v.Fill(-1.0);
+  EXPECT_EQ(v.Sum(), -4.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a = {1.0, 2.0};
+  Vector b = {3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_EQ(sum(0), 4.0);
+  EXPECT_EQ(sum(1), 1.0);
+  Vector diff = a - b;
+  EXPECT_EQ(diff(0), -2.0);
+  Vector scaled = a * 2.0;
+  EXPECT_EQ(scaled(1), 4.0);
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, 5.0, 6.0};
+  EXPECT_EQ(a.Dot(b), 32.0);
+}
+
+TEST(VectorTest, Norms) {
+  Vector v = {3.0, -4.0};
+  EXPECT_EQ(v.Norm1(), 7.0);
+  EXPECT_EQ(v.Norm2(), 5.0);
+  EXPECT_EQ(v.NormInf(), 4.0);
+}
+
+TEST(VectorTest, DeltaYConvergenceUseCase) {
+  // ‖y_i − y_{i−1}‖₁ as used by Figure 3: label flips count 1 each.
+  Vector y1 = {1.0, 0.0, 0.0, 1.0};
+  Vector y2 = {1.0, 1.0, 0.0, 0.0};
+  EXPECT_EQ((y2 - y1).Norm1(), 2.0);
+}
+
+TEST(VectorTest, ResizeZeroFills) {
+  Vector v = {1.0};
+  v.Resize(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v(2), 0.0);
+}
+
+TEST(VectorDeathTest, MismatchedSizesDie) {
+  Vector a(2), b(3);
+  EXPECT_DEATH(a.Dot(b), "");
+  EXPECT_DEATH(a += b, "");
+}
+
+TEST(VectorDeathTest, OutOfBoundsDies) {
+  Vector v(2);
+  EXPECT_DEATH(v(2), "");
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,92 @@
+#include "src/metadiagram/covering_set.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/metadiagram/features.h"
+
+namespace activeiter {
+namespace {
+
+MetaDiagram FindDiagram(const std::vector<MetaDiagram>& catalog,
+                        const std::string& id) {
+  for (const auto& d : catalog) {
+    if (d.id() == id) return d;
+  }
+  ADD_FAILURE() << "diagram " << id << " not in catalog";
+  return catalog.front();
+}
+
+TEST(CoveringSetTest, PathCoversItself) {
+  MetaDiagram p1 = MetaDiagram::FromMetaPath(SocialMetaPaths()[0]);
+  auto paths = EnumerateCoveredPaths(p1.root());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].Signature(), "1:follow>.anchor>.2:follow<");
+}
+
+TEST(CoveringSetTest, FusedSocialPairCoversFourPaths) {
+  // Ψ(P1×P2) has mutual-follow segments on both sides: its source-sink
+  // paths pick one direction per side -> 4 covered paths.
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  MetaDiagram fused = FindDiagram(catalog, "MD[P1xP2]");
+  auto paths = EnumerateCoveredPaths(fused.root());
+  EXPECT_EQ(paths.size(), 4u);
+  std::set<std::string> sigs;
+  for (const auto& p : paths) sigs.insert(p.Signature());
+  EXPECT_TRUE(sigs.count("1:follow>.anchor>.2:follow<"));  // P1
+  EXPECT_TRUE(sigs.count("1:follow<.anchor>.2:follow>"));  // P2
+}
+
+TEST(CoveringSetTest, MinimumCoverOfFusedPairIsTwo) {
+  // Two paths (one per follow direction pair) cover every leaf segment.
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  MetaDiagram fused = FindDiagram(catalog, "MD[P1xP2]");
+  auto cover = MinimumCoveringSet(fused);
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(CoveringSetTest, Psi2CoversP5AndP6) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  MetaDiagram psi2 = FindDiagram(catalog, "PSI2");
+  auto paths = EnumerateCoveredPaths(psi2.root());
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<std::string> sigs;
+  for (const auto& p : paths) sigs.insert(p.Signature());
+  EXPECT_TRUE(
+      sigs.count("1:write>.1:at>.2:at<.2:write<"));          // P5
+  EXPECT_TRUE(
+      sigs.count("1:write>.1:checkin>.2:checkin<.2:write<"));  // P6
+  auto cover = MinimumCoveringSet(psi2);
+  EXPECT_EQ(cover.size(), 2u);  // both branches are needed
+}
+
+TEST(CoveringSetTest, CoveringMetaPathsAreValid) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  for (const auto& d : catalog) {
+    auto paths = CoveringMetaPaths(d);
+    EXPECT_FALSE(paths.empty()) << d.id();
+  }
+}
+
+TEST(CoveringSetTest, SubsetRelationLemma2Premise) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  MetaDiagram p5 = MetaDiagram::FromMetaPath(AttributeMetaPaths()[0]);
+  MetaDiagram psi2 = FindDiagram(catalog, "PSI2");
+  EXPECT_TRUE(CoveringSubset(p5, psi2));
+  EXPECT_FALSE(CoveringSubset(psi2, p5));
+  MetaDiagram p1 = MetaDiagram::FromMetaPath(SocialMetaPaths()[0]);
+  EXPECT_FALSE(CoveringSubset(p1, psi2));
+}
+
+TEST(CoveringSetTest, EndpointStackUnionsCoverings) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  MetaDiagram stacked = FindDiagram(catalog, "MD[P1xP5]");
+  auto paths = EnumerateCoveredPaths(stacked.root());
+  EXPECT_EQ(paths.size(), 2u);  // P1 and P5 branches
+  MetaDiagram p1 = MetaDiagram::FromMetaPath(SocialMetaPaths()[0]);
+  EXPECT_TRUE(CoveringSubset(p1, stacked));
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,169 @@
+#include "src/metadiagram/features.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/metadiagram/covering_set.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair TinyPair(uint64_t seed = 7) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(pair.ok());
+  return std::move(pair).ValueOrDie();
+}
+
+TEST(CatalogTest, MetaPathOnlyHasSixFeatures) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathOnly);
+  EXPECT_EQ(catalog.size(), 6u);
+}
+
+TEST(CatalogTest, FullCatalogHasTwentyNineDistinctFeatures) {
+  // 6 paths + 6 Ψf² + 1 Ψ2 + 8 Ψf,a + 4 Ψf,a² + 6 Ψf²,a² = 31 nominal
+  // entries (§III-B), of which P1×P2 ≡ P3×P4 (and hence their Ψ2
+  // stackings) denote the same diagram -> 29 distinct features.
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  EXPECT_EQ(catalog.size(), 29u);
+}
+
+TEST(CatalogTest, WordExtensionGrowsCatalog) {
+  auto base = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram, false);
+  auto ext = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram, true);
+  EXPECT_GT(ext.size(), base.size());
+  auto mp_ext = StandardDiagramCatalog(FeatureSet::kMetaPathOnly, true);
+  EXPECT_EQ(mp_ext.size(), 7u);  // P1..P7
+}
+
+TEST(CatalogTest, IdsAreUnique) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  std::set<std::string> ids;
+  for (const auto& d : catalog) ids.insert(d.id());
+  EXPECT_EQ(ids.size(), catalog.size());
+}
+
+TEST(CatalogTest, SignaturesAreUnique) {
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  std::set<std::string> sigs;
+  for (const auto& d : catalog) sigs.insert(d.Signature());
+  EXPECT_EQ(sigs.size(), catalog.size());
+}
+
+TEST(FeatureExtractorTest, MatrixShapeAndBias) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 10);
+  FeatureExtractor extractor(pair, train);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);
+  candidates.Add(1, 2);
+  candidates.Add(3, 3);
+  Matrix x = extractor.Extract(candidates);
+  EXPECT_EQ(x.rows(), 3u);
+  EXPECT_EQ(x.cols(), 30u);  // 29 distinct features + bias
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(x(i, 29), 1.0);
+}
+
+TEST(FeatureExtractorTest, ScoresAreInUnitInterval) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 10);
+  FeatureExtractor extractor(pair, train);
+  CandidateLinkSet candidates;
+  for (NodeId u = 0; u < 20; ++u) candidates.Add(u, u);
+  Matrix x = extractor.Extract(candidates);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j + 1 < x.cols(); ++j) {
+      EXPECT_GE(x(i, j), 0.0);
+      EXPECT_LE(x(i, j), 1.0);
+    }
+  }
+}
+
+TEST(FeatureExtractorTest, DeterministicAcrossRuns) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 10);
+  CandidateLinkSet candidates;
+  candidates.Add(2, 5);
+  candidates.Add(7, 1);
+  FeatureExtractor a(pair, train);
+  FeatureExtractor b(pair, train);
+  EXPECT_EQ(Matrix::MaxAbsDiff(a.Extract(candidates), b.Extract(candidates)),
+            0.0);
+}
+
+TEST(FeatureExtractorTest, ParallelMatchesSequential) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 10);
+  CandidateLinkSet candidates;
+  for (NodeId u = 0; u < 10; ++u) candidates.Add(u, 9 - u);
+  FeatureExtractor seq(pair, train);
+  ThreadPool pool(4);
+  FeatureExtractorOptions opt;
+  opt.pool = &pool;
+  FeatureExtractor par(pair, train, opt);
+  EXPECT_EQ(
+      Matrix::MaxAbsDiff(seq.Extract(candidates), par.Extract(candidates)),
+      0.0);
+}
+
+TEST(FeatureExtractorTest, AnchoredPairsScoreHigherOnAverage) {
+  // The planted signal must surface in the features: mean feature mass of
+  // true anchors exceeds that of random non-anchors.
+  AlignedPair pair = TinyPair(21);
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 20);
+  FeatureExtractor extractor(pair, train);
+
+  CandidateLinkSet positives, negatives;
+  for (size_t i = 20; i < pair.anchor_count(); ++i) {
+    positives.Add(pair.anchors()[i].u1, pair.anchors()[i].u2);
+    // mismatched partner = definite negative
+    negatives.Add(pair.anchors()[i].u1,
+                  pair.anchors()[(i + 3) % pair.anchor_count()].u2);
+  }
+  Matrix xp = extractor.Extract(positives);
+  Matrix xn = extractor.Extract(negatives);
+  auto mean_mass = [](const Matrix& m) {
+    double total = 0.0;
+    for (size_t i = 0; i < m.rows(); ++i) {
+      for (size_t j = 0; j + 1 < m.cols(); ++j) total += m(i, j);
+    }
+    return total / static_cast<double>(m.rows());
+  };
+  EXPECT_GT(mean_mass(xp), 1.5 * mean_mass(xn));
+}
+
+TEST(FeatureExtractorTest, LemmaOnePruningDirectionHolds) {
+  // Sound direction of Lemma 1 (the one the covering-set pruning relies
+  // on): a nonzero diagram count implies nonzero counts for every covered
+  // meta path.
+  AlignedPair pair = TinyPair(5);
+  std::vector<AnchorLink> train(pair.anchors().begin(),
+                                pair.anchors().begin() + 20);
+  RelationContext ctx(pair, train);
+  DiagramEvaluator evaluator(&ctx);
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  for (const auto& diagram : catalog) {
+    auto counts = evaluator.Evaluate(diagram);
+    std::vector<MetaPath> cover = CoveringMetaPaths(diagram);
+    std::vector<SparseMatrix> cover_counts;
+    for (const auto& p : cover) cover_counts.push_back(p.CountMatrix(ctx));
+    counts->ForEach([&](size_t i, size_t j, double v) {
+      if (v <= 0.0) return;
+      for (size_t k = 0; k < cover_counts.size(); ++k) {
+        EXPECT_GT(cover_counts[k].At(i, j), 0.0)
+            << diagram.id() << " covered path " << cover[k].id()
+            << " missing at (" << i << "," << j << ")";
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace activeiter

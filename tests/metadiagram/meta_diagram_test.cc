@@ -1,0 +1,269 @@
+#include "src/metadiagram/meta_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+namespace {
+
+constexpr auto kFirst = NetworkSide::kFirst;
+constexpr auto kSecond = NetworkSide::kSecond;
+
+/// Random aligned pair small enough for brute-force instance counting.
+AlignedPair RandomTinyPair(uint64_t seed, size_t users = 5, size_t posts = 6,
+                           size_t attrs = 3) {
+  Rng rng(seed);
+  HeteroNetwork n1(NetworkSchema::SocialNetwork(), "n1");
+  n1.AddNodes(NodeType::kUser, users);
+  n1.AddNodes(NodeType::kPost, posts);
+  n1.AddNodes(NodeType::kLocation, attrs);
+  n1.AddNodes(NodeType::kTimestamp, attrs);
+  n1.AddNodes(NodeType::kWord, attrs);
+  HeteroNetwork n2(NetworkSchema::SocialNetwork(), "n2");
+  n2.AddNodes(NodeType::kUser, users);
+  n2.AddNodes(NodeType::kPost, posts);
+  n2.AddNodes(NodeType::kLocation, attrs);
+  n2.AddNodes(NodeType::kTimestamp, attrs);
+  n2.AddNodes(NodeType::kWord, attrs);
+
+  for (HeteroNetwork* net : {&n1, &n2}) {
+    for (size_t u = 0; u < users; ++u) {
+      for (size_t v = 0; v < users; ++v) {
+        if (u != v && rng.Bernoulli(0.4)) {
+          EXPECT_TRUE(net->AddEdge(RelationType::kFollow,
+                                   static_cast<NodeId>(u),
+                                   static_cast<NodeId>(v))
+                          .ok());
+        }
+      }
+    }
+    for (size_t p = 0; p < posts; ++p) {
+      NodeId writer = static_cast<NodeId>(rng.UniformInt(users));
+      EXPECT_TRUE(net->AddEdge(RelationType::kWrite, writer,
+                               static_cast<NodeId>(p))
+                      .ok());
+      EXPECT_TRUE(net->AddEdge(RelationType::kAt, static_cast<NodeId>(p),
+                               static_cast<NodeId>(rng.UniformInt(attrs)))
+                      .ok());
+      EXPECT_TRUE(net->AddEdge(RelationType::kCheckin,
+                               static_cast<NodeId>(p),
+                               static_cast<NodeId>(rng.UniformInt(attrs)))
+                      .ok());
+    }
+  }
+  AlignedPair pair(std::move(n1), std::move(n2));
+  // Anchor a random half of the users one-to-one (identity permutation on
+  // a shuffled subset).
+  std::vector<size_t> perm = rng.SampleWithoutReplacement(users, users / 2);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_TRUE(pair.AddAnchor(static_cast<NodeId>(perm[i]),
+                               static_cast<NodeId>(perm[(i + 1) % perm.size()]))
+                    .ok());
+  }
+  return pair;
+}
+
+ExprPtr Step(NetworkSide side, RelationType rel, bool fwd) {
+  return DiagramBuilder::Step(StepRef::Rel(side, rel, fwd));
+}
+
+/// Brute-force count of Ψ1 = mutual-follow / anchor / mutual-follow.
+double BruteForcePsi1(const AlignedPair& pair, NodeId i, NodeId j) {
+  SparseMatrix f1 = pair.first().AdjacencyMatrix(RelationType::kFollow);
+  SparseMatrix f2 = pair.second().AdjacencyMatrix(RelationType::kFollow);
+  double count = 0.0;
+  for (const auto& a : pair.anchors()) {
+    bool mutual1 = f1.At(i, a.u1) > 0 && f1.At(a.u1, i) > 0;
+    bool mutual2 = f2.At(j, a.u2) > 0 && f2.At(a.u2, j) > 0;
+    if (mutual1 && mutual2) count += 1.0;
+  }
+  return count;
+}
+
+/// Brute-force count of Ψ2 = co-located AND co-timed post pairs.
+double BruteForcePsi2(const AlignedPair& pair, NodeId i, NodeId j) {
+  auto gather = [](const HeteroNetwork& net, NodeId user) {
+    std::vector<std::pair<NodeId, NodeId>> out;  // (loc, time) of posts
+    std::vector<NodeId> loc(net.NodeCount(NodeType::kPost)),
+        ts(net.NodeCount(NodeType::kPost));
+    for (const auto& [p, l] : net.Edges(RelationType::kCheckin)) loc[p] = l;
+    for (const auto& [p, t] : net.Edges(RelationType::kAt)) ts[p] = t;
+    for (const auto& [u, p] : net.Edges(RelationType::kWrite)) {
+      if (u == user) out.emplace_back(loc[p], ts[p]);
+    }
+    return out;
+  };
+  double count = 0.0;
+  for (const auto& e1 : gather(pair.first(), i)) {
+    for (const auto& e2 : gather(pair.second(), j)) {
+      if (e1 == e2) count += 1.0;
+    }
+  }
+  return count;
+}
+
+ExprPtr BuildPsi1() {
+  auto seg1 = DiagramBuilder::Parallel(
+      {Step(kFirst, RelationType::kFollow, true),
+       Step(kFirst, RelationType::kFollow, false)});
+  auto seg3 = DiagramBuilder::Parallel(
+      {Step(kSecond, RelationType::kFollow, false),
+       Step(kSecond, RelationType::kFollow, true)});
+  auto chain = DiagramBuilder::Chain(
+      {std::move(seg1).value(), DiagramBuilder::Step(StepRef::Anchor(true)),
+       std::move(seg3).value()});
+  return std::move(chain).value();
+}
+
+ExprPtr BuildPsi2() {
+  auto time_branch =
+      DiagramBuilder::Chain({Step(kFirst, RelationType::kAt, true),
+                             Step(kSecond, RelationType::kAt, false)});
+  auto loc_branch =
+      DiagramBuilder::Chain({Step(kFirst, RelationType::kCheckin, true),
+                             Step(kSecond, RelationType::kCheckin, false)});
+  auto middle = DiagramBuilder::Parallel(
+      {std::move(time_branch).value(), std::move(loc_branch).value()});
+  auto chain =
+      DiagramBuilder::Chain({Step(kFirst, RelationType::kWrite, true),
+                             std::move(middle).value(),
+                             Step(kSecond, RelationType::kWrite, false)});
+  return std::move(chain).value();
+}
+
+TEST(DiagramBuilderTest, StepEndpoints) {
+  ExprPtr s = Step(kFirst, RelationType::kWrite, true);
+  EXPECT_EQ(s->source_type(), NodeType::kUser);
+  EXPECT_EQ(s->target_type(), NodeType::kPost);
+  EXPECT_EQ(s->signature(), "1:write>");
+}
+
+TEST(DiagramBuilderTest, ChainValidatesComposition) {
+  auto good = DiagramBuilder::Chain({Step(kFirst, RelationType::kWrite, true),
+                                     Step(kFirst, RelationType::kAt, true)});
+  EXPECT_TRUE(good.ok());
+  auto bad = DiagramBuilder::Chain({Step(kFirst, RelationType::kWrite, true),
+                                    Step(kFirst, RelationType::kFollow, true)});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DiagramBuilderTest, ChainAllowsSharedAttributeJunctions) {
+  // at> ends at Timestamp (side 1); at< starts from Timestamp (side 2).
+  auto cross = DiagramBuilder::Chain({Step(kFirst, RelationType::kAt, true),
+                                      Step(kSecond, RelationType::kAt, false)});
+  EXPECT_TRUE(cross.ok());
+}
+
+TEST(DiagramBuilderTest, ParallelValidatesEndpoints) {
+  auto good = DiagramBuilder::Parallel(
+      {Step(kFirst, RelationType::kFollow, true),
+       Step(kFirst, RelationType::kFollow, false)});
+  EXPECT_TRUE(good.ok());
+  auto bad = DiagramBuilder::Parallel(
+      {Step(kFirst, RelationType::kFollow, true),
+       Step(kFirst, RelationType::kWrite, true)});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DiagramBuilderTest, ParallelSignatureIsCommutative) {
+  auto ab = DiagramBuilder::Parallel(
+      {Step(kFirst, RelationType::kFollow, true),
+       Step(kFirst, RelationType::kFollow, false)});
+  auto ba = DiagramBuilder::Parallel(
+      {Step(kFirst, RelationType::kFollow, false),
+       Step(kFirst, RelationType::kFollow, true)});
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(ab.value()->signature(), ba.value()->signature());
+}
+
+TEST(MetaDiagramTest, CreateValidatesUserEndpoints) {
+  auto bad = MetaDiagram::Create("x", "", Step(kFirst, RelationType::kWrite,
+                                               true));
+  EXPECT_FALSE(bad.ok());
+  auto also_bad = MetaDiagram::Create(
+      "x", "", Step(kFirst, RelationType::kFollow, true));
+  EXPECT_FALSE(also_bad.ok());  // same side on both ends
+}
+
+TEST(DiagramEvaluatorTest, Psi1MatchesBruteForce) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    AlignedPair pair = RandomTinyPair(seed);
+    RelationContext ctx(pair, pair.anchors());
+    DiagramEvaluator evaluator(&ctx);
+    auto counts = evaluator.Evaluate(BuildPsi1());
+    for (NodeId i = 0; i < 5; ++i) {
+      for (NodeId j = 0; j < 5; ++j) {
+        EXPECT_EQ(counts->At(i, j), BruteForcePsi1(pair, i, j))
+            << "seed=" << seed << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(DiagramEvaluatorTest, Psi2MatchesBruteForce) {
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    AlignedPair pair = RandomTinyPair(seed);
+    RelationContext ctx(pair, pair.anchors());
+    DiagramEvaluator evaluator(&ctx);
+    auto counts = evaluator.Evaluate(BuildPsi2());
+    for (NodeId i = 0; i < 5; ++i) {
+      for (NodeId j = 0; j < 5; ++j) {
+        EXPECT_EQ(counts->At(i, j), BruteForcePsi2(pair, i, j))
+            << "seed=" << seed << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(DiagramEvaluatorTest, EndpointStackIsProductOfBranches) {
+  AlignedPair pair = RandomTinyPair(7);
+  RelationContext ctx(pair, pair.anchors());
+  DiagramEvaluator evaluator(&ctx);
+  ExprPtr psi1 = BuildPsi1();
+  ExprPtr psi2 = BuildPsi2();
+  auto stacked = DiagramBuilder::Parallel({psi1, psi2});
+  ASSERT_TRUE(stacked.ok());
+  auto c1 = evaluator.Evaluate(psi1);
+  auto c2 = evaluator.Evaluate(psi2);
+  auto cs = evaluator.Evaluate(stacked.value());
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = 0; j < 5; ++j) {
+      EXPECT_EQ(cs->At(i, j), c1->At(i, j) * c2->At(i, j));
+    }
+  }
+}
+
+TEST(DiagramEvaluatorTest, CacheSharesSubExpressions) {
+  AlignedPair pair = RandomTinyPair(8);
+  RelationContext ctx(pair, pair.anchors());
+  DiagramEvaluator evaluator(&ctx);
+  ExprPtr psi2 = BuildPsi2();
+  evaluator.Evaluate(psi2);
+  size_t after_first = evaluator.cache_size();
+  evaluator.Evaluate(psi2);  // fully cached
+  EXPECT_EQ(evaluator.cache_size(), after_first);
+  // A diagram embedding Ψ2 adds only the new nodes.
+  std::vector<MetaPath> social = SocialMetaPaths();
+  auto stacked = DiagramBuilder::Parallel(
+      {DiagramBuilder::FromMetaPath(social[0]), psi2});
+  ASSERT_TRUE(stacked.ok());
+  evaluator.Evaluate(stacked.value());
+  EXPECT_GT(evaluator.cache_size(), after_first);
+}
+
+TEST(DiagramEvaluatorTest, ChainMatchesMetaPathCount) {
+  AlignedPair pair = RandomTinyPair(9);
+  RelationContext ctx(pair, pair.anchors());
+  DiagramEvaluator evaluator(&ctx);
+  for (const auto& p : StandardMetaPaths()) {
+    auto via_diagram = evaluator.Evaluate(DiagramBuilder::FromMetaPath(p));
+    SparseMatrix direct = p.CountMatrix(ctx);
+    EXPECT_TRUE(via_diagram->Equals(direct, 1e-12)) << p.id();
+  }
+}
+
+}  // namespace
+}  // namespace activeiter

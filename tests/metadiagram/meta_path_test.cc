@@ -1,0 +1,169 @@
+#include "src/metadiagram/meta_path.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+namespace {
+
+constexpr auto kFirst = NetworkSide::kFirst;
+constexpr auto kSecond = NetworkSide::kSecond;
+
+/// The worked fixture used across the metadiagram tests:
+///   net1: users {a0, a1}, posts {p0 by a0}, p0 at t0 / checkin l0,
+///         follows a0->a1 and a1->a0 (mutual).
+///   net2: users {b0, b1}, posts {q0 by b0}, q0 at t0 / checkin l0,
+///         follows b0->b1 and b1->b0 (mutual).
+///   training anchor: (a1, b1).
+AlignedPair WorkedPair() {
+  HeteroNetwork n1(NetworkSchema::SocialNetwork(), "n1");
+  n1.AddNodes(NodeType::kUser, 2);
+  n1.AddNodes(NodeType::kPost, 1);
+  n1.AddNodes(NodeType::kLocation, 2);
+  n1.AddNodes(NodeType::kTimestamp, 2);
+  n1.AddNodes(NodeType::kWord, 2);
+  EXPECT_TRUE(n1.AddEdge(RelationType::kFollow, 0, 1).ok());
+  EXPECT_TRUE(n1.AddEdge(RelationType::kFollow, 1, 0).ok());
+  EXPECT_TRUE(n1.AddEdge(RelationType::kWrite, 0, 0).ok());
+  EXPECT_TRUE(n1.AddEdge(RelationType::kAt, 0, 0).ok());
+  EXPECT_TRUE(n1.AddEdge(RelationType::kCheckin, 0, 0).ok());
+
+  HeteroNetwork n2(NetworkSchema::SocialNetwork(), "n2");
+  n2.AddNodes(NodeType::kUser, 2);
+  n2.AddNodes(NodeType::kPost, 1);
+  n2.AddNodes(NodeType::kLocation, 2);
+  n2.AddNodes(NodeType::kTimestamp, 2);
+  n2.AddNodes(NodeType::kWord, 2);
+  EXPECT_TRUE(n2.AddEdge(RelationType::kFollow, 0, 1).ok());
+  EXPECT_TRUE(n2.AddEdge(RelationType::kFollow, 1, 0).ok());
+  EXPECT_TRUE(n2.AddEdge(RelationType::kWrite, 0, 0).ok());
+  EXPECT_TRUE(n2.AddEdge(RelationType::kAt, 0, 0).ok());
+  EXPECT_TRUE(n2.AddEdge(RelationType::kCheckin, 0, 0).ok());
+
+  AlignedPair pair(std::move(n1), std::move(n2));
+  EXPECT_TRUE(pair.AddAnchor(1, 1).ok());
+  return pair;
+}
+
+TEST(StepRefTest, TokensAndEndpoints) {
+  StepRef follow = StepRef::Rel(kFirst, RelationType::kFollow, true);
+  EXPECT_EQ(follow.Token(), "1:follow>");
+  EXPECT_EQ(follow.SourceNodeType(), NodeType::kUser);
+  EXPECT_EQ(follow.TargetNodeType(), NodeType::kUser);
+
+  StepRef write_back = StepRef::Rel(kSecond, RelationType::kWrite, false);
+  EXPECT_EQ(write_back.Token(), "2:write<");
+  EXPECT_EQ(write_back.SourceNodeType(), NodeType::kPost);
+  EXPECT_EQ(write_back.TargetNodeType(), NodeType::kUser);
+
+  StepRef anchor = StepRef::Anchor(true);
+  EXPECT_EQ(anchor.Token(), "anchor>");
+  EXPECT_EQ(anchor.SourceSide(), kFirst);
+  EXPECT_EQ(anchor.TargetSide(), kSecond);
+}
+
+TEST(MetaPathTest, StandardCatalogHasSixPaths) {
+  std::vector<MetaPath> paths = StandardMetaPaths();
+  ASSERT_EQ(paths.size(), 6u);
+  EXPECT_EQ(paths[0].id(), "P1");
+  EXPECT_EQ(paths[4].id(), "P5");
+  EXPECT_EQ(paths[5].id(), "P6");
+}
+
+TEST(MetaPathTest, SocialPathsHaveLengthThree) {
+  for (const auto& p : SocialMetaPaths()) {
+    EXPECT_EQ(p.length(), 3u) << p.id();
+  }
+}
+
+TEST(MetaPathTest, AttributePathsHaveLengthFour) {
+  for (const auto& p : AttributeMetaPaths()) {
+    EXPECT_EQ(p.length(), 4u) << p.id();
+  }
+}
+
+TEST(MetaPathTest, SignaturesAreDistinct) {
+  std::vector<MetaPath> paths = StandardMetaPaths();
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].Signature(), paths[j].Signature());
+    }
+  }
+}
+
+TEST(MetaPathTest, CreateRejectsNonComposingSteps) {
+  auto bad = MetaPath::Create(
+      "bad", "", {StepRef::Rel(kFirst, RelationType::kWrite, true),
+                  StepRef::Anchor(true)});
+  EXPECT_FALSE(bad.ok());  // Post cannot meet anchor's User source
+}
+
+TEST(MetaPathTest, CreateRejectsIntraNetworkEndpoints) {
+  // U -follow-> U within network 1 is not an inter-network meta path.
+  auto bad = MetaPath::Create(
+      "bad", "", {StepRef::Rel(kFirst, RelationType::kFollow, true)});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(MetaPathTest, CreateRejectsAttributeEndpoint) {
+  auto bad = MetaPath::Create(
+      "bad", "", {StepRef::Rel(kFirst, RelationType::kWrite, true),
+                  StepRef::Rel(kFirst, RelationType::kAt, true)});
+  EXPECT_FALSE(bad.ok());  // ends at Timestamp, not a user type
+}
+
+TEST(MetaPathTest, P1CountsCommonAnchoredFollowee) {
+  AlignedPair pair = WorkedPair();
+  RelationContext ctx(pair, pair.anchors());
+  std::vector<MetaPath> paths = SocialMetaPaths();
+  SparseMatrix p1 = paths[0].CountMatrix(ctx);
+  // a0 -> a1 (anchor) b1 <- b0: exactly one instance between (a0, b0).
+  EXPECT_EQ(p1.At(0, 0), 1.0);
+  // The anchored pair itself (a1, b1) has no such instance here.
+  EXPECT_EQ(p1.At(1, 1), 0.0);
+}
+
+TEST(MetaPathTest, AllSocialPathsCountOneOnMutualFixture) {
+  // With mutual follows on both sides, all of P1..P4 connect (a0, b0).
+  AlignedPair pair = WorkedPair();
+  RelationContext ctx(pair, pair.anchors());
+  for (const auto& p : SocialMetaPaths()) {
+    EXPECT_EQ(p.CountMatrix(ctx).At(0, 0), 1.0) << p.id();
+  }
+}
+
+TEST(MetaPathTest, P5P6CountCommonAttributes) {
+  AlignedPair pair = WorkedPair();
+  RelationContext ctx(pair, pair.anchors());
+  std::vector<MetaPath> attr = AttributeMetaPaths();
+  EXPECT_EQ(attr[0].CountMatrix(ctx).At(0, 0), 1.0);  // common t0
+  EXPECT_EQ(attr[1].CountMatrix(ctx).At(0, 0), 1.0);  // common l0
+}
+
+TEST(MetaPathTest, EmptyTrainingAnchorsKillSocialPaths) {
+  AlignedPair pair = WorkedPair();
+  RelationContext ctx(pair, /*train_anchors=*/{});
+  for (const auto& p : SocialMetaPaths()) {
+    EXPECT_EQ(p.CountMatrix(ctx).nnz(), 0u) << p.id();
+  }
+  // Attribute paths do not need the anchor bridge.
+  EXPECT_EQ(AttributeMetaPaths()[0].CountMatrix(ctx).At(0, 0), 1.0);
+}
+
+TEST(MetaPathTest, CommonWordExtensionCounts) {
+  AlignedPair pair = WorkedPair();
+  // Attach word w0 to both posts.
+  // (Rebuild the pair since HeteroNetwork is moved into AlignedPair.)
+  HeteroNetwork n1 = pair.first();
+  HeteroNetwork n2 = pair.second();
+  EXPECT_TRUE(n1.AddEdge(RelationType::kContain, 0, 0).ok());
+  EXPECT_TRUE(n2.AddEdge(RelationType::kContain, 0, 0).ok());
+  AlignedPair pair2(std::move(n1), std::move(n2));
+  EXPECT_TRUE(pair2.AddAnchor(1, 1).ok());
+  RelationContext ctx(pair2, pair2.anchors());
+  EXPECT_EQ(CommonWordMetaPath().CountMatrix(ctx).At(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,102 @@
+#include "src/metadiagram/pathsim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+/// Hand-checkable network: users 0 and 1 follow user 2; user 3 follows
+/// user 4 only.
+HeteroNetwork FollowNetwork() {
+  HeteroNetwork net(NetworkSchema::SocialNetwork(), "n");
+  net.AddNodes(NodeType::kUser, 5);
+  EXPECT_TRUE(net.AddEdge(RelationType::kFollow, 0, 2).ok());
+  EXPECT_TRUE(net.AddEdge(RelationType::kFollow, 1, 2).ok());
+  EXPECT_TRUE(net.AddEdge(RelationType::kFollow, 3, 4).ok());
+  return net;
+}
+
+TEST(PathSimTest, ValidatesHalfPath) {
+  HeteroNetwork net = FollowNetwork();
+  EXPECT_FALSE(PathSim::Create(net, {}).ok());
+  // Must start at users.
+  EXPECT_FALSE(
+      PathSim::Create(net, {StepRef::Rel(NetworkSide::kFirst,
+                                         RelationType::kAt, true)})
+          .ok());
+  // Anchors are inter-network.
+  EXPECT_FALSE(PathSim::Create(net, {StepRef::Anchor(true)}).ok());
+  // Non-composing steps.
+  EXPECT_FALSE(
+      PathSim::Create(net, {StepRef::Rel(NetworkSide::kFirst,
+                                         RelationType::kFollow, true),
+                            StepRef::Rel(NetworkSide::kFirst,
+                                         RelationType::kAt, true)})
+          .ok());
+}
+
+TEST(PathSimTest, CoFollowHandComputed) {
+  HeteroNetwork net = FollowNetwork();
+  auto sim = PathSim::Create(net, CoFollowHalfPath());
+  ASSERT_TRUE(sim.ok());
+  // Users 0 and 1 share their single followee: s = 2*1/(1+1) = 1.
+  EXPECT_EQ(sim.value().Score(0, 1), 1.0);
+  // Users 0 and 3 share nothing.
+  EXPECT_EQ(sim.value().Score(0, 3), 0.0);
+  // Self similarity is 1 for users with any out-edge, 0 for isolated.
+  EXPECT_EQ(sim.value().Score(0, 0), 1.0);
+  EXPECT_EQ(sim.value().Score(2, 2), 0.0);
+}
+
+TEST(PathSimTest, SymmetricAndBounded) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(3)).Generate();
+  ASSERT_TRUE(pair.ok());
+  auto sim = PathSim::Create(pair.value().first(), CoLocationHalfPath());
+  ASSERT_TRUE(sim.ok());
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = 0; j < 20; ++j) {
+      double s = sim.value().Score(i, j);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+      EXPECT_EQ(s, sim.value().Score(j, i));
+    }
+  }
+}
+
+TEST(PathSimTest, TopKOrderedAndExcludesSelf) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(4)).Generate();
+  ASSERT_TRUE(pair.ok());
+  auto sim = PathSim::Create(pair.value().first(), CoLocationHalfPath());
+  ASSERT_TRUE(sim.ok());
+  auto top = sim.value().TopK(0, 5);
+  EXPECT_LE(top.size(), 5u);
+  for (size_t k = 0; k < top.size(); ++k) {
+    EXPECT_NE(top[k].first, 0u);
+    EXPECT_GT(top[k].second, 0.0);
+    if (k > 0) {
+      EXPECT_LE(top[k].second, top[k - 1].second);
+    }
+  }
+}
+
+TEST(PathSimTest, TwoHopHalfPathCounts) {
+  // User -write-> Post -checkin-> Location: users co-visiting locations.
+  HeteroNetwork net(NetworkSchema::SocialNetwork(), "n");
+  net.AddNodes(NodeType::kUser, 2);
+  net.AddNodes(NodeType::kPost, 2);
+  net.AddNodes(NodeType::kLocation, 1);
+  EXPECT_TRUE(net.AddEdge(RelationType::kWrite, 0, 0).ok());
+  EXPECT_TRUE(net.AddEdge(RelationType::kWrite, 1, 1).ok());
+  EXPECT_TRUE(net.AddEdge(RelationType::kCheckin, 0, 0).ok());
+  EXPECT_TRUE(net.AddEdge(RelationType::kCheckin, 1, 0).ok());
+  auto sim = PathSim::Create(net, CoLocationHalfPath());
+  ASSERT_TRUE(sim.ok());
+  // Both users reach the single location once: s(0,1) = 2*1/(1+1) = 1.
+  EXPECT_EQ(sim.value().Score(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace activeiter

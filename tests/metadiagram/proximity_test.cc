@@ -1,0 +1,66 @@
+#include "src/metadiagram/proximity.h"
+
+#include <gtest/gtest.h>
+
+namespace activeiter {
+namespace {
+
+TEST(ProximityTest, DiceFormula) {
+  // counts: (0,0)=2 with row0 total 4 and col0 total 3 -> 2*2/(4+3).
+  auto counts = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 2.0}, {0, 1, 2.0}, {1, 0, 1.0}});
+  ProximityScores prox(counts);
+  EXPECT_NEAR(prox.Score(0, 0), 4.0 / 7.0, 1e-12);
+}
+
+TEST(ProximityTest, ZeroCountGivesZeroScore) {
+  auto counts = SparseMatrix::FromTriplets(2, 2, {{0, 0, 5.0}});
+  ProximityScores prox(counts);
+  EXPECT_EQ(prox.Score(1, 1), 0.0);
+  EXPECT_EQ(prox.Score(0, 1), 0.0);
+}
+
+TEST(ProximityTest, IsolatedPairScoresOne) {
+  // A single instance between the pair and nothing else: s = 2*1/(1+1) = 1.
+  auto counts = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  ProximityScores prox(counts);
+  EXPECT_EQ(prox.Score(0, 0), 1.0);
+}
+
+TEST(ProximityTest, ScoreIsBoundedByOne) {
+  auto counts = SparseMatrix::FromTriplets(
+      3, 3, {{0, 0, 3.0}, {0, 1, 1.0}, {2, 0, 2.0}, {1, 1, 4.0}});
+  ProximityScores prox(counts);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 0; j < 3; ++j) {
+      EXPECT_LE(prox.Score(i, j), 1.0);
+      EXPECT_GE(prox.Score(i, j), 0.0);
+    }
+  }
+}
+
+TEST(ProximityTest, PenalisesPromiscuousUsers) {
+  // Same pairwise count, but user 0 has many other instances.
+  auto focused = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  auto promiscuous = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 5.0}});
+  EXPECT_GT(ProximityScores(focused).Score(0, 0),
+            ProximityScores(promiscuous).Score(0, 0));
+}
+
+TEST(ProximityTest, ScoresForCandidates) {
+  auto counts = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  ProximityScores prox(counts);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);
+  candidates.Add(0, 1);
+  candidates.Add(1, 1);
+  Vector scores = prox.ScoresFor(candidates);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores(0), 1.0);
+  EXPECT_EQ(scores(1), 0.0);
+  EXPECT_EQ(scores(2), 1.0);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -2,11 +2,14 @@
 // SpGEMM / Hadamard (meta-diagram counting), ridge solve (step 1-1),
 // greedy and Hungarian selection (step 1-2), and full feature extraction.
 
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
 #include "src/align/greedy_selection.h"
 #include "src/align/hungarian.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/datagen/aligned_generator.h"
 #include "src/datagen/presets.h"
 #include "src/learn/ridge.h"
@@ -41,6 +44,31 @@ void BM_SpGemm(benchmark::State& state) {
                           static_cast<int64_t>(a.nnz()));
 }
 BENCHMARK(BM_SpGemm)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Serial vs pooled SpGemm at the relation-matrix scales the table benches
+// operate at: n = 8192 ≈ the `bench` generator scale, n = 32768 ≈ `large`.
+// Args are {n, threads}; threads = 1 is the serial engine, so the tracked
+// JSON carries the speedup directly.
+void BM_SpGemmPooled(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  SparseMatrix a = RandomSparse(n, n, 64.0 / n, 11);
+  SparseMatrix b = RandomSparse(n, n, 64.0 / n, 12);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpGemm(a, b, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpGemmPooled)
+    ->ArgNames({"n", "threads"})
+    ->Args({8192, 1})
+    ->Args({8192, 4})
+    ->Args({32768, 1})
+    ->Args({32768, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Hadamard(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

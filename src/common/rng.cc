@@ -1,7 +1,6 @@
 #include "src/common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace activeiter {
 namespace {
@@ -71,7 +70,7 @@ double Rng::Normal(double mean, double stddev) {
   } while (u1 <= 1e-300);
   double u2 = UniformDouble();
   double r = std::sqrt(-2.0 * std::log(u1));
-  double theta = 2.0 * std::numbers::pi * u2;
+  double theta = 2.0 * 3.14159265358979323846 * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return mean + stddev * r * std::cos(theta);

@@ -1,10 +1,18 @@
 #include "src/common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "src/common/status.h"
 
 namespace activeiter {
+namespace {
+
+// Which pool (if any) owns the current thread. Set once per worker thread.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -38,7 +46,12 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::IsWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -62,14 +75,47 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
                              const std::function<void(size_t)>& fn) {
-  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+  ParallelForRanges(pool, n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRanges(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() == 1 || n == 1 ||
+      pool->IsWorkerThread()) {
+    fn(0, n);
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([i, &fn] { fn(i); });
+  // Per-call latch rather than pool->Wait(): concurrent ParallelFor calls
+  // must not block on each other's tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  const size_t chunks = std::min(n, pool->num_threads() * 4);
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = chunks;
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    pool->Submit([&fn, begin, end, latch] {
+      fn(begin, end);
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->remaining;
+      }
+      latch->cv.notify_one();
+    });
+    begin = end;
   }
-  pool->Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 }  // namespace activeiter

@@ -38,10 +38,24 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Parallel
+  /// helpers fall back to inline execution in that case, so nested
+  /// parallel sections (per-diagram tasks calling pooled kernels) cannot
+  /// deadlock on the queue.
+  bool IsWorkerThread() const;
+
   /// Runs fn(i) for i in [0, n), distributing across `pool` (or inline when
-  /// pool == nullptr). Blocks until all iterations complete.
+  /// pool == nullptr). Blocks until all iterations complete. Safe to call
+  /// from inside a pool task (runs inline there).
   static void ParallelFor(ThreadPool* pool, size_t n,
                           const std::function<void(size_t)>& fn);
+
+  /// Runs fn(begin, end) over disjoint contiguous ranges covering [0, n),
+  /// one range per task. The kernels use this row-blocked form so each task
+  /// touches a contiguous slab of CSR data.
+  static void ParallelForRanges(
+      ThreadPool* pool, size_t n,
+      const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

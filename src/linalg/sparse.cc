@@ -41,6 +41,56 @@ SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::FromCsr(size_t rows, size_t cols,
+                                   std::vector<size_t> row_ptr,
+                                   std::vector<uint32_t> col_idx,
+                                   std::vector<double> values) {
+  ACTIVEITER_CHECK_MSG(row_ptr.size() == rows + 1, "FromCsr row_ptr size");
+  ACTIVEITER_CHECK_MSG(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+                       "FromCsr row_ptr bounds");
+  ACTIVEITER_CHECK_MSG(col_idx.size() == values.size(),
+                       "FromCsr col/value size mismatch");
+  for (size_t i = 0; i < rows; ++i) {
+    ACTIVEITER_CHECK_MSG(row_ptr[i] <= row_ptr[i + 1],
+                         "FromCsr row_ptr not monotone");
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      ACTIVEITER_CHECK_MSG(col_idx[k] < cols, "FromCsr column out of bounds");
+      ACTIVEITER_CHECK_MSG(k == row_ptr[i] || col_idx[k - 1] < col_idx[k],
+                           "FromCsr columns not sorted/unique");
+    }
+  }
+  SparseMatrix m(rows, cols);
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromCsrUnchecked(size_t rows, size_t cols,
+                                            std::vector<size_t> row_ptr,
+                                            std::vector<uint32_t> col_idx,
+                                            std::vector<double> values) {
+#ifndef NDEBUG
+  return FromCsr(rows, cols, std::move(row_ptr), std::move(col_idx),
+                 std::move(values));
+#else
+  ACTIVEITER_CHECK_MSG(row_ptr.size() == rows + 1, "FromCsr row_ptr size");
+  ACTIVEITER_CHECK_MSG(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+                       "FromCsr row_ptr bounds");
+  ACTIVEITER_CHECK_MSG(col_idx.size() == values.size(),
+                       "FromCsr col/value size mismatch");
+  for (size_t i = 0; i < rows; ++i) {
+    ACTIVEITER_CHECK_MSG(row_ptr[i] <= row_ptr[i + 1],
+                         "FromCsr row_ptr not monotone");
+  }
+  SparseMatrix m(rows, cols);
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+#endif
+}
+
 SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double tolerance) {
   std::vector<Triplet> trips;
   for (size_t i = 0; i < dense.rows(); ++i) {

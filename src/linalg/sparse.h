@@ -40,6 +40,24 @@ class SparseMatrix {
   static SparseMatrix FromTriplets(size_t rows, size_t cols,
                                    std::vector<Triplet> triplets);
 
+  /// Builds directly from CSR arrays (the kernel fast path — no triplet
+  /// sort). Row pointers must be monotone with row_ptr.back() equal to
+  /// col_idx.size(), and columns sorted and unique within each row
+  /// (checked).
+  static SparseMatrix FromCsr(size_t rows, size_t cols,
+                              std::vector<size_t> row_ptr,
+                              std::vector<uint32_t> col_idx,
+                              std::vector<double> values);
+
+  /// FromCsr without the O(nnz) per-entry scan, for kernels whose output
+  /// is sorted/unique by construction — the scan would otherwise serialize
+  /// the tail of every parallel product. Cheap O(rows) structure checks
+  /// remain; the full scan still runs in debug (!NDEBUG) builds.
+  static SparseMatrix FromCsrUnchecked(size_t rows, size_t cols,
+                                       std::vector<size_t> row_ptr,
+                                       std::vector<uint32_t> col_idx,
+                                       std::vector<double> values);
+
   /// Builds from a dense matrix, dropping entries with |v| <= tolerance.
   static SparseMatrix FromDense(const Matrix& dense, double tolerance = 0.0);
 

@@ -1,20 +1,85 @@
 #include "src/linalg/sparse_ops.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "src/common/thread_pool.h"
 
 namespace activeiter {
+namespace {
 
-SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b) {
+// Number of contiguous row blocks a pooled kernel splits its work into.
+// Capped at 2× the worker count: each SpGemm block owns a dense accumulator
+// sized to B.cols(), so over-chunking costs memory, not balance.
+size_t NumRowBlocks(size_t rows, ThreadPool* pool) {
+  if (rows == 0) return 0;
+  if (pool == nullptr || pool->num_threads() == 1 || pool->IsWorkerThread()) {
+    return 1;
+  }
+  return std::min(rows, pool->num_threads() * 2);
+}
+
+// Rows [rows*c/blocks, rows*(c+1)/blocks) belong to block c.
+size_t BlockBegin(size_t rows, size_t blocks, size_t c) {
+  return rows * c / blocks;
+}
+
+// One block's slice of an output matrix under construction.
+struct CsrBlock {
+  std::vector<size_t> row_nnz;  // per row of the block
+  std::vector<uint32_t> cols;
+  std::vector<double> vals;
+};
+
+// Stitches per-block slices into one CSR matrix, copying value arrays in
+// parallel once the global offsets are known.
+SparseMatrix StitchBlocks(size_t rows, size_t cols,
+                          std::vector<CsrBlock> blocks, ThreadPool* pool) {
+  const size_t num_blocks = blocks.size();
+  std::vector<size_t> row_ptr(rows + 1, 0);
+  if (num_blocks == 1) {
+    // Serial path (and nested pooled calls): the single block already holds
+    // the whole result — move it out instead of copying O(nnz) data.
+    CsrBlock& block = blocks.front();
+    for (size_t r = 0; r < rows; ++r) {
+      row_ptr[r + 1] = row_ptr[r] + block.row_nnz[r];
+    }
+    return SparseMatrix::FromCsrUnchecked(rows, cols, std::move(row_ptr),
+                                          std::move(block.cols),
+                                          std::move(block.vals));
+  }
+  std::vector<size_t> block_offset(num_blocks + 1, 0);
+  for (size_t c = 0; c < num_blocks; ++c) {
+    const size_t begin = BlockBegin(rows, num_blocks, c);
+    for (size_t r = 0; r < blocks[c].row_nnz.size(); ++r) {
+      row_ptr[begin + r + 1] = blocks[c].row_nnz[r];
+    }
+    block_offset[c + 1] = block_offset[c] + blocks[c].cols.size();
+  }
+  for (size_t i = 0; i < rows; ++i) row_ptr[i + 1] += row_ptr[i];
+
+  std::vector<uint32_t> col_idx(block_offset[num_blocks]);
+  std::vector<double> values(block_offset[num_blocks]);
+  ThreadPool::ParallelFor(pool, num_blocks, [&](size_t c) {
+    if (blocks[c].cols.empty()) return;
+    std::memcpy(col_idx.data() + block_offset[c], blocks[c].cols.data(),
+                blocks[c].cols.size() * sizeof(uint32_t));
+    std::memcpy(values.data() + block_offset[c], blocks[c].vals.data(),
+                blocks[c].vals.size() * sizeof(double));
+  });
+  return SparseMatrix::FromCsrUnchecked(rows, cols, std::move(row_ptr),
+                                        std::move(col_idx),
+                                        std::move(values));
+}
+
+}  // namespace
+
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b,
+                    ThreadPool* pool) {
   ACTIVEITER_CHECK_MSG(a.cols() == b.rows(), "SpGemm shape mismatch");
   const size_t rows = a.rows();
   const size_t cols = b.cols();
-
-  std::vector<Triplet> out;
-  // Gustavson: for each row of A, scatter scaled rows of B into a dense
-  // accumulator, then gather touched columns.
-  std::vector<double> accum(cols, 0.0);
-  std::vector<uint32_t> touched;
-  touched.reserve(256);
+  if (rows == 0) return SparseMatrix(rows, cols);
 
   const auto& a_ptr = a.row_ptr();
   const auto& a_col = a.col_idx();
@@ -23,66 +88,139 @@ SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b) {
   const auto& b_col = b.col_idx();
   const auto& b_val = b.values();
 
-  for (size_t i = 0; i < rows; ++i) {
-    touched.clear();
-    for (size_t ka = a_ptr[i]; ka < a_ptr[i + 1]; ++ka) {
-      const size_t k = a_col[ka];
-      const double av = a_val[ka];
-      for (size_t kb = b_ptr[k]; kb < b_ptr[k + 1]; ++kb) {
-        const uint32_t j = b_col[kb];
-        if (accum[j] == 0.0) touched.push_back(j);
-        accum[j] += av * b_val[kb];
+  const size_t num_blocks = NumRowBlocks(rows, pool);
+  std::vector<CsrBlock> blocks(num_blocks);
+  ThreadPool::ParallelFor(pool, num_blocks, [&](size_t c) {
+    const size_t begin = BlockBegin(rows, num_blocks, c);
+    const size_t end = BlockBegin(rows, num_blocks, c + 1);
+    CsrBlock& block = blocks[c];
+    block.row_nnz.resize(end - begin, 0);
+    // Gustavson: for each row of A, scatter scaled rows of B into a dense
+    // accumulator, then gather touched columns in sorted order.
+    std::vector<double> accum(cols, 0.0);
+    std::vector<uint32_t> touched;
+    touched.reserve(256);
+    for (size_t i = begin; i < end; ++i) {
+      touched.clear();
+      for (size_t ka = a_ptr[i]; ka < a_ptr[i + 1]; ++ka) {
+        const size_t k = a_col[ka];
+        const double av = a_val[ka];
+        for (size_t kb = b_ptr[k]; kb < b_ptr[k + 1]; ++kb) {
+          const uint32_t j = b_col[kb];
+          if (accum[j] == 0.0) touched.push_back(j);
+          accum[j] += av * b_val[kb];
+        }
       }
-    }
-    std::sort(touched.begin(), touched.end());
-    for (uint32_t j : touched) {
-      if (accum[j] != 0.0) {
-        out.push_back({static_cast<uint32_t>(i), j, accum[j]});
+      std::sort(touched.begin(), touched.end());
+      size_t nnz = 0;
+      for (uint32_t j : touched) {
+        if (accum[j] != 0.0) {
+          block.cols.push_back(j);
+          block.vals.push_back(accum[j]);
+          ++nnz;
+        }
+        accum[j] = 0.0;
       }
-      accum[j] = 0.0;
+      block.row_nnz[i - begin] = nnz;
     }
-  }
-  return SparseMatrix::FromTriplets(rows, cols, std::move(out));
-}
-
-SparseMatrix Transpose(const SparseMatrix& a) {
-  std::vector<Triplet> trips;
-  trips.reserve(a.nnz());
-  a.ForEach([&](size_t i, size_t j, double v) {
-    trips.push_back({static_cast<uint32_t>(j), static_cast<uint32_t>(i), v});
   });
-  return SparseMatrix::FromTriplets(a.cols(), a.rows(), std::move(trips));
+  return StitchBlocks(rows, cols, std::move(blocks), pool);
 }
 
-SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b) {
+SparseMatrix Transpose(const SparseMatrix& a, ThreadPool* pool) {
+  const size_t rows = a.rows();
+  const size_t cols = a.cols();
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+
+  const size_t num_blocks = std::max<size_t>(NumRowBlocks(rows, pool), 1);
+  // Phase 1: per-block column histograms.
+  std::vector<std::vector<size_t>> hist(num_blocks);
+  ThreadPool::ParallelFor(pool, num_blocks, [&](size_t c) {
+    hist[c].assign(cols, 0);
+    const size_t begin = BlockBegin(rows, num_blocks, c);
+    const size_t end = BlockBegin(rows, num_blocks, c + 1);
+    for (size_t k = a_ptr[begin]; k < a_ptr[end]; ++k) ++hist[c][a_col[k]];
+  });
+
+  // Output row pointers, and per-(block, column) write cursors so the
+  // scatter below preserves the source-row order within every column (CSR
+  // of Aᵀ needs sorted, unique column indices, which source rows are).
+  std::vector<size_t> out_ptr(cols + 1, 0);
+  for (size_t j = 0; j < cols; ++j) {
+    size_t total = 0;
+    for (size_t c = 0; c < num_blocks; ++c) {
+      const size_t count = hist[c][j];
+      hist[c][j] = out_ptr[j] + total;  // becomes the block's cursor
+      total += count;
+    }
+    out_ptr[j + 1] = out_ptr[j] + total;
+  }
+
+  std::vector<uint32_t> out_col(a.nnz());
+  std::vector<double> out_val(a.nnz());
+  ThreadPool::ParallelFor(pool, num_blocks, [&](size_t c) {
+    auto& cursor = hist[c];
+    const size_t begin = BlockBegin(rows, num_blocks, c);
+    const size_t end = BlockBegin(rows, num_blocks, c + 1);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t k = a_ptr[i]; k < a_ptr[i + 1]; ++k) {
+        const size_t pos = cursor[a_col[k]]++;
+        out_col[pos] = static_cast<uint32_t>(i);
+        out_val[pos] = a_val[k];
+      }
+    }
+  });
+  return SparseMatrix::FromCsrUnchecked(cols, rows, std::move(out_ptr),
+                                        std::move(out_col),
+                                        std::move(out_val));
+}
+
+SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b,
+                      ThreadPool* pool) {
   ACTIVEITER_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
                        "Hadamard shape mismatch");
-  std::vector<Triplet> trips;
+  const size_t rows = a.rows();
+  if (rows == 0) return SparseMatrix(rows, a.cols());
   const auto& a_ptr = a.row_ptr();
   const auto& a_col = a.col_idx();
   const auto& a_val = a.values();
   const auto& b_ptr = b.row_ptr();
   const auto& b_col = b.col_idx();
   const auto& b_val = b.values();
-  for (size_t i = 0; i < a.rows(); ++i) {
-    size_t ka = a_ptr[i], kb = b_ptr[i];
-    const size_t ea = a_ptr[i + 1], eb = b_ptr[i + 1];
-    while (ka < ea && kb < eb) {
-      if (a_col[ka] < b_col[kb]) {
-        ++ka;
-      } else if (a_col[ka] > b_col[kb]) {
-        ++kb;
-      } else {
-        double v = a_val[ka] * b_val[kb];
-        if (v != 0.0) {
-          trips.push_back({static_cast<uint32_t>(i), a_col[ka], v});
+
+  const size_t num_blocks = NumRowBlocks(rows, pool);
+  std::vector<CsrBlock> blocks(num_blocks);
+  ThreadPool::ParallelFor(pool, num_blocks, [&](size_t c) {
+    const size_t begin = BlockBegin(rows, num_blocks, c);
+    const size_t end = BlockBegin(rows, num_blocks, c + 1);
+    CsrBlock& block = blocks[c];
+    block.row_nnz.resize(end - begin, 0);
+    for (size_t i = begin; i < end; ++i) {
+      size_t ka = a_ptr[i], kb = b_ptr[i];
+      const size_t ea = a_ptr[i + 1], eb = b_ptr[i + 1];
+      size_t nnz = 0;
+      while (ka < ea && kb < eb) {
+        if (a_col[ka] < b_col[kb]) {
+          ++ka;
+        } else if (a_col[ka] > b_col[kb]) {
+          ++kb;
+        } else {
+          const double v = a_val[ka] * b_val[kb];
+          if (v != 0.0) {
+            block.cols.push_back(a_col[ka]);
+            block.vals.push_back(v);
+            ++nnz;
+          }
+          ++ka;
+          ++kb;
         }
-        ++ka;
-        ++kb;
       }
+      block.row_nnz[i - begin] = nnz;
     }
-  }
-  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips));
+  });
+  return StitchBlocks(rows, a.cols(), std::move(blocks), pool);
 }
 
 SparseMatrix Add(const SparseMatrix& a, const SparseMatrix& b) {

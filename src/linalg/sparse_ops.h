@@ -13,15 +13,26 @@
 
 namespace activeiter {
 
+class ThreadPool;
+
 /// C = A · B. Classic Gustavson row-by-row algorithm with a dense
 /// accumulator sized to B.cols(). Requires A.cols() == B.rows() (checked).
-SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b);
+///
+/// When `pool` is non-null the rows of A are partitioned into contiguous
+/// blocks computed concurrently; each row's arithmetic is identical to the
+/// serial order, so the result is bitwise-equal to the pool == nullptr
+/// path.
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b,
+                    ThreadPool* pool = nullptr);
 
-/// Aᵀ in CSR, O(nnz + rows + cols).
-SparseMatrix Transpose(const SparseMatrix& a);
+/// Aᵀ in CSR, O(nnz + rows + cols). Row-blocked two-phase (histogram +
+/// stable scatter) when `pool` is non-null; output is identical either way.
+SparseMatrix Transpose(const SparseMatrix& a, ThreadPool* pool = nullptr);
 
 /// Elementwise (Hadamard) product; shapes must match (checked).
-SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b);
+/// Row-partitioned across `pool` when non-null; bitwise-identical results.
+SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b,
+                      ThreadPool* pool = nullptr);
 
 /// A + B; shapes must match (checked).
 SparseMatrix Add(const SparseMatrix& a, const SparseMatrix& b);

@@ -153,7 +153,7 @@ FeatureExtractor::FeatureExtractor(const AlignedPair& pair,
                                    std::vector<AnchorLink> train_anchors,
                                    FeatureExtractorOptions options)
     : pair_(&pair),
-      ctx_(pair, train_anchors),
+      ctx_(pair, train_anchors, options.pool),
       catalog_(StandardDiagramCatalog(options.feature_set,
                                       options.include_word_path)),
       options_(options) {
@@ -165,9 +165,16 @@ void FeatureExtractor::EnsureScores() const {
   if (!scores_.empty()) return;
   std::vector<std::shared_ptr<const ProximityScores>> computed(
       catalog_.size());
-  DiagramEvaluator evaluator(&ctx_);
-  // Warm the evaluator cache with the meta paths sequentially (they are the
-  // shared sub-expressions), then fan the full diagrams out.
+  EvaluatorOptions eval_options;
+  eval_options.pool = options_.pool;
+  DiagramEvaluator evaluator(&ctx_, eval_options);
+  // Warm the plan cache with the meta paths sequentially — they are the
+  // shared prefixes/sub-expressions of every stacked diagram, and seeding
+  // them first keeps the concurrent fan-out below from racing to compute
+  // the same intermediate twice.
+  for (const auto& d : catalog_) {
+    if (d.root()->kind() == DiagramNode::Kind::kChain) evaluator.Evaluate(d);
+  }
   ThreadPool::ParallelFor(options_.pool, catalog_.size(), [&](size_t k) {
     auto counts = evaluator.Evaluate(catalog_[k]);
     computed[k] = std::make_shared<ProximityScores>(*counts);

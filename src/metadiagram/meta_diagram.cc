@@ -141,60 +141,132 @@ MetaDiagram MetaDiagram::FromMetaPath(const MetaPath& path) {
   return std::move(r).value();
 }
 
-DiagramEvaluator::DiagramEvaluator(const RelationContext* ctx) : ctx_(ctx) {
+std::string TransposedSignature(const DiagramNode& node) {
+  switch (node.kind()) {
+    case DiagramNode::Kind::kStep: {
+      StepRef flipped = node.step();
+      flipped.forward = !flipped.forward;
+      return flipped.Token();
+    }
+    case DiagramNode::Kind::kChain: {
+      std::vector<std::string> sigs;
+      sigs.reserve(node.children().size());
+      for (auto it = node.children().rbegin(); it != node.children().rend();
+           ++it) {
+        sigs.push_back(TransposedSignature(**it));
+      }
+      return ChainSignature(sigs);
+    }
+    case DiagramNode::Kind::kParallel: {
+      std::vector<std::string> sigs;
+      sigs.reserve(node.children().size());
+      for (const auto& c : node.children()) {
+        sigs.push_back(TransposedSignature(*c));
+      }
+      return ParallelSignature(std::move(sigs));
+    }
+  }
+  return {};
+}
+
+DiagramEvaluator::DiagramEvaluator(const RelationContext* ctx,
+                                   EvaluatorOptions options)
+    : ctx_(ctx), options_(options) {
   ACTIVEITER_CHECK(ctx != nullptr);
 }
 
-std::shared_ptr<const SparseMatrix> DiagramEvaluator::Lookup(
-    const std::string& sig) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(sig);
-  return it == cache_.end() ? nullptr : it->second;
-}
-
-void DiagramEvaluator::Store(const std::string& sig,
-                             std::shared_ptr<const SparseMatrix> m) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.emplace(sig, std::move(m));
-}
-
-size_t DiagramEvaluator::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.size();
+std::shared_ptr<const SparseMatrix> DiagramEvaluator::EvaluateChain(
+    const DiagramNode& node) {
+  const auto& children = node.children();
+  auto cur = Evaluate(children.front());
+  // Prefix signatures in evaluation order; the transposed prefix signature
+  // is the reversed chain of the transposed children. Only consumed when
+  // prefixes are cached, so only built then.
+  const bool track_transposes =
+      options_.share_chain_prefixes && options_.share_transposes;
+  std::vector<std::string> sigs{children.front()->signature()};
+  std::vector<std::string> tsigs;
+  if (track_transposes) {
+    tsigs.push_back(TransposedSignature(*children.front()));
+  }
+  for (size_t i = 1; i < children.size(); ++i) {
+    sigs.push_back(children[i]->signature());
+    const std::string prefix_sig = ChainSignature(sigs);
+    if (track_transposes) {
+      tsigs.push_back(TransposedSignature(*children[i]));
+    }
+    if (options_.share_chain_prefixes) {
+      if (auto hit = cache_.Lookup(prefix_sig)) {
+        cur = hit;
+        continue;
+      }
+      if (options_.share_transposes) {
+        std::vector<std::string> rev(tsigs.rbegin(), tsigs.rend());
+        if (auto reverse_hit = cache_.Peek(ChainSignature(rev))) {
+          cache_.CountTransposeHit();
+          cur = cache_.Store(prefix_sig, std::make_shared<SparseMatrix>(
+                                             Transpose(*reverse_hit,
+                                                       options_.pool)));
+          continue;
+        }
+      }
+    }
+    auto rhs = Evaluate(children[i]);
+    cache_.CountProduct();
+    auto product =
+        std::make_shared<SparseMatrix>(SpGemm(*cur, *rhs, options_.pool));
+    cur = options_.share_chain_prefixes
+              ? cache_.Store(prefix_sig, std::move(product))
+              : std::shared_ptr<const SparseMatrix>(std::move(product));
+  }
+  return cur;
 }
 
 std::shared_ptr<const SparseMatrix> DiagramEvaluator::Evaluate(
     const ExprPtr& node) {
   ACTIVEITER_CHECK(node != nullptr);
-  if (auto hit = Lookup(node->signature())) return hit;
+  const std::string& sig = node->signature();
+  if (auto hit = cache_.Lookup(sig)) return hit;
+  // Step matrices (both directions) are precomputed in the RelationContext,
+  // so transposing a cached twin would only add work there.
+  if (options_.share_transposes &&
+      node->kind() != DiagramNode::Kind::kStep) {
+    if (auto reverse_hit = cache_.Peek(TransposedSignature(*node))) {
+      cache_.CountTransposeHit();
+      return cache_.Store(sig, std::make_shared<SparseMatrix>(Transpose(
+                                   *reverse_hit, options_.pool)));
+    }
+  }
 
   std::shared_ptr<const SparseMatrix> result;
   switch (node->kind()) {
     case DiagramNode::Kind::kStep: {
-      result = std::make_shared<SparseMatrix>(ctx_->Get(node->step()));
+      // Non-owning alias: step matrices live in the RelationContext, which
+      // outlives the evaluator by contract.
+      result = std::shared_ptr<const SparseMatrix>(
+          std::shared_ptr<const void>(), &ctx_->Get(node->step()));
       break;
     }
     case DiagramNode::Kind::kChain: {
-      auto acc = Evaluate(node->children().front());
-      SparseMatrix m = *acc;
-      for (size_t i = 1; i < node->children().size(); ++i) {
-        m = SpGemm(m, *Evaluate(node->children()[i]));
-      }
-      result = std::make_shared<SparseMatrix>(std::move(m));
+      result = EvaluateChain(*node);
       break;
     }
     case DiagramNode::Kind::kParallel: {
-      auto acc = Evaluate(node->children().front());
-      SparseMatrix m = *acc;
-      for (size_t i = 1; i < node->children().size(); ++i) {
-        m = Hadamard(m, *Evaluate(node->children()[i]));
+      // Builder collapses singleton parallels, so there are >= 2 children;
+      // fold the first product directly rather than copying child 0.
+      auto first = Evaluate(node->children()[0]);
+      auto second = Evaluate(node->children()[1]);
+      cache_.CountProduct();
+      SparseMatrix m = Hadamard(*first, *second, options_.pool);
+      for (size_t i = 2; i < node->children().size(); ++i) {
+        cache_.CountProduct();
+        m = Hadamard(m, *Evaluate(node->children()[i]), options_.pool);
       }
       result = std::make_shared<SparseMatrix>(std::move(m));
       break;
     }
   }
-  Store(node->signature(), result);
-  return result;
+  return cache_.Store(sig, std::move(result));
 }
 
 }  // namespace activeiter

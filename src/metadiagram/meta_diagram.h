@@ -28,14 +28,17 @@
 #define ACTIVEITER_METADIAGRAM_META_DIAGRAM_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/metadiagram/meta_path.h"
+#include "src/metadiagram/product_plan.h"
 #include "src/metadiagram/relation_matrices.h"
+
+namespace activeiter {
+class ThreadPool;
+}
 
 namespace activeiter {
 
@@ -122,16 +125,41 @@ class MetaDiagram {
   ExprPtr root_;
 };
 
-/// Evaluates diagram expressions against a RelationContext with
-/// signature-keyed memoisation, so sub-diagrams shared between features
-/// (e.g. Ψ2 inside every Ψf,a² and Ψf²,a² diagram) are computed once —
-/// the reuse rule the paper derives from Lemma 2. Thread-safe.
+/// Signature of the transposed expression: steps flip direction, chains
+/// reverse, parallels stay (sorted). The evaluator uses it to serve a
+/// chain from the cached product of its reversal via one Transpose.
+std::string TransposedSignature(const DiagramNode& node);
+
+/// Evaluation knobs. The sharing flags exist so tests/benches can compare
+/// the factored engine against plain per-diagram evaluation.
+struct EvaluatorOptions {
+  /// Pool for the sparse kernels; nullptr = serial.
+  ThreadPool* pool = nullptr;
+  /// Cache every chain prefix product, not only whole sub-expressions.
+  bool share_chain_prefixes = true;
+  /// Serve a chain whose reversal is cached with a single transpose.
+  /// Bitwise equality with the uncached path assumes count matrices hold
+  /// exactly-representable integers (< 2^53): the reversal is computed in
+  /// the opposite association, which FP non-associativity would expose on
+  /// non-integer inputs (e.g. pre-normalised adjacencies).
+  bool share_transposes = true;
+};
+
+/// Evaluates diagram expressions against a RelationContext on top of a
+/// ProductPlanCache: sub-diagrams shared between features (e.g. Ψ2 inside
+/// every Ψf,a² and Ψf²,a² diagram), chain prefixes shared between paths,
+/// and reversed chains are all computed once — the reuse rule the paper
+/// derives from Lemma 2. Thread-safe.
 class DiagramEvaluator {
  public:
   /// `ctx` must outlive the evaluator.
-  explicit DiagramEvaluator(const RelationContext* ctx);
+  explicit DiagramEvaluator(const RelationContext* ctx,
+                            EvaluatorOptions options = {});
 
-  /// Count matrix of the expression (memoised).
+  /// Count matrix of the expression (memoised). The returned pointer may
+  /// alias storage owned by the RelationContext (step matrices are not
+  /// copied), so it is valid only while `ctx` lives — do not retain it
+  /// past the context.
   std::shared_ptr<const SparseMatrix> Evaluate(const ExprPtr& node);
 
   /// Count matrix of a whole diagram.
@@ -139,16 +167,18 @@ class DiagramEvaluator {
     return Evaluate(diagram.root());
   }
 
-  /// Number of distinct expressions evaluated so far (cache size).
-  size_t cache_size() const;
+  /// Number of distinct intermediates materialised so far (cache size).
+  size_t cache_size() const { return cache_.size(); }
+
+  /// Reuse accounting of the underlying plan cache.
+  ProductPlanCache::Stats cache_stats() const { return cache_.stats(); }
 
  private:
-  std::shared_ptr<const SparseMatrix> Lookup(const std::string& sig) const;
-  void Store(const std::string& sig, std::shared_ptr<const SparseMatrix> m);
+  std::shared_ptr<const SparseMatrix> EvaluateChain(const DiagramNode& node);
 
   const RelationContext* ctx_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> cache_;
+  EvaluatorOptions options_;
+  ProductPlanCache cache_;
 };
 
 }  // namespace activeiter

@@ -1,0 +1,65 @@
+#include "src/metadiagram/product_plan.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+std::shared_ptr<const SparseMatrix> ProductPlanCache::Lookup(
+    const std::string& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(sig);
+  if (it == cache_.end()) return nullptr;
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const SparseMatrix> ProductPlanCache::Peek(
+    const std::string& sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(sig);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const SparseMatrix> ProductPlanCache::Store(
+    const std::string& sig, std::shared_ptr<const SparseMatrix> m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(sig, std::move(m));
+  return it->second;
+}
+
+void ProductPlanCache::CountTransposeHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.transpose_hits;
+}
+
+void ProductPlanCache::CountProduct() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.products;
+}
+
+size_t ProductPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+ProductPlanCache::Stats ProductPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string ChainSignature(const std::vector<std::string>& child_sigs) {
+  if (child_sigs.size() == 1) return child_sigs.front();
+  return "(" + Join(child_sigs, ".") + ")";
+}
+
+std::string ParallelSignature(std::vector<std::string> child_sigs) {
+  std::sort(child_sigs.begin(), child_sigs.end());
+  child_sigs.erase(std::unique(child_sigs.begin(), child_sigs.end()),
+                   child_sigs.end());
+  if (child_sigs.size() == 1) return child_sigs.front();
+  return "[" + Join(child_sigs, "|") + "]";
+}
+
+}  // namespace activeiter

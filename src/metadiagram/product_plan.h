@@ -1,0 +1,78 @@
+// Product-plan cache: the DAG of intermediate count matrices behind
+// meta-diagram evaluation.
+//
+// The catalog's diagrams overlap heavily: every social meta path shares its
+// first SpGEMM with the fused Ψf² diagrams, Ψ2 appears inside every Ψf,a²
+// and Ψf²,a² stacking, and reversing a chain is a transpose, not a new
+// product (A1···Ak)ᵀ = Akᵀ···A1ᵀ. The evaluator therefore never keys work
+// on whole diagrams; it keys every intermediate — each chain *prefix*, each
+// parallel stack, each step — by its canonical expression signature in this
+// cache. A signature is computed at most once per extraction, and a chain
+// that is the reversal of a cached one is satisfied with a single
+// transpose. This is the IC3-style reuse discipline (extend previously
+// built formulas instead of rebuilding) applied to sparse products.
+//
+// The cache is shared by concurrent per-diagram tasks; all methods are
+// thread-safe. Two tasks racing on the same miss may both compute the
+// product — results are identical, so the duplicate store is benign.
+
+#ifndef ACTIVEITER_METADIAGRAM_PRODUCT_PLAN_H_
+#define ACTIVEITER_METADIAGRAM_PRODUCT_PLAN_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/linalg/sparse.h"
+
+namespace activeiter {
+
+/// Signature-keyed store of evaluated intermediates plus reuse counters.
+class ProductPlanCache {
+ public:
+  /// Reuse accounting; read it after an extraction to see the factoring.
+  struct Stats {
+    size_t hits = 0;            // intermediate served from cache
+    size_t transpose_hits = 0;  // served by transposing the reverse chain
+    size_t products = 0;        // SpGEMM/Hadamard actually executed
+  };
+
+  /// The matrix stored under `sig`, or nullptr. Counts a hit when found.
+  std::shared_ptr<const SparseMatrix> Lookup(const std::string& sig);
+
+  /// Lookup that does not touch the hit counters (for probing a transposed
+  /// signature, which has its own counter).
+  std::shared_ptr<const SparseMatrix> Peek(const std::string& sig) const;
+
+  /// Stores `m` under `sig`. First store wins on a race; returns the
+  /// matrix that ended up cached.
+  std::shared_ptr<const SparseMatrix> Store(
+      const std::string& sig, std::shared_ptr<const SparseMatrix> m);
+
+  void CountTransposeHit();
+  void CountProduct();
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> cache_;
+  Stats stats_;
+};
+
+/// Canonical signature of the chain e1·…·ek given the children's
+/// signatures; matches DiagramBuilder::Chain's signature for the same
+/// children, so chain prefixes cached here are hit by any diagram whose
+/// subtree *is* that chain.
+std::string ChainSignature(const std::vector<std::string>& child_sigs);
+
+/// Canonical signature of a parallel stack (sorted, deduplicated), matching
+/// DiagramBuilder::Parallel.
+std::string ParallelSignature(std::vector<std::string> child_sigs);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_PRODUCT_PLAN_H_

@@ -32,7 +32,8 @@ std::string StepRef::Token() const {
 }
 
 RelationContext::RelationContext(const AlignedPair& pair,
-                                 const std::vector<AnchorLink>& train_anchors)
+                                 const std::vector<AnchorLink>& train_anchors,
+                                 ThreadPool* pool)
     : users_first_(pair.first().NodeCount(NodeType::kUser)),
       users_second_(pair.second().NodeCount(NodeType::kUser)),
       train_anchor_count_(train_anchors.size()) {
@@ -41,12 +42,12 @@ RelationContext::RelationContext(const AlignedPair& pair,
     for (int r = 0; r < kNumRelationTypes; ++r) {
       SparseMatrix adj =
           nets[s]->AdjacencyMatrix(static_cast<RelationType>(r));
-      backward_[s][r] = Transpose(adj);
+      backward_[s][r] = Transpose(adj, pool);
       forward_[s][r] = std::move(adj);
     }
   }
   anchor_forward_ = pair.AnchorMatrixFor(train_anchors);
-  anchor_backward_ = Transpose(anchor_forward_);
+  anchor_backward_ = Transpose(anchor_forward_, pool);
 }
 
 const SparseMatrix& RelationContext::Get(const StepRef& step) const {

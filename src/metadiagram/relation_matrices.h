@@ -18,6 +18,8 @@
 
 namespace activeiter {
 
+class ThreadPool;
+
 /// One typed step of a meta path: either an intra-network relation
 /// traversed forward/backward on a given side, or the anchor bridge.
 struct StepRef {
@@ -57,9 +59,11 @@ class RelationContext {
  public:
   /// Builds the context. `train_anchors` is the labeled anchor set L+ used
   /// as the bridge; it may be any subset of the pair's ground truth (or
-  /// arbitrary user pairs for what-if analyses).
+  /// arbitrary user pairs for what-if analyses). `pool` parallelises the
+  /// transpose construction; nullptr = serial.
   RelationContext(const AlignedPair& pair,
-                  const std::vector<AnchorLink>& train_anchors);
+                  const std::vector<AnchorLink>& train_anchors,
+                  ThreadPool* pool = nullptr);
 
   /// The matrix of one step (already transposed for backward steps).
   const SparseMatrix& Get(const StepRef& step) const;

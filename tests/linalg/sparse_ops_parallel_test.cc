@@ -1,0 +1,136 @@
+// The pooled kernels promise bitwise-identical results to the serial path:
+// row blocks are computed in the same per-row arithmetic order, only
+// concurrently. These tests pin that contract on random matrices, including
+// the raw CSR arrays (not just tolerance equality), plus the nested-call
+// fallback that keeps per-diagram tasks from deadlocking the pool.
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/linalg/sparse_ops.h"
+
+namespace activeiter {
+namespace {
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) {
+        trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         rng.Normal()});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(trips));
+}
+
+void ExpectBitwiseEqual(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values(), b.values());  // bitwise: no tolerance
+}
+
+TEST(ParallelSpGemmTest, BitwiseMatchesSerialOnRandomMatrices) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SparseMatrix a = RandomSparse(37 + seed * 11, 29, 0.15, seed * 2 + 1);
+    SparseMatrix b = RandomSparse(29, 41, 0.15, seed * 2 + 2);
+    ExpectBitwiseEqual(SpGemm(a, b), SpGemm(a, b, &pool));
+  }
+}
+
+TEST(ParallelSpGemmTest, RectangularAndDenseBlocks) {
+  ThreadPool pool(3);
+  SparseMatrix a = RandomSparse(5, 64, 0.6, 77);  // fewer rows than chunks
+  SparseMatrix b = RandomSparse(64, 7, 0.6, 78);
+  ExpectBitwiseEqual(SpGemm(a, b), SpGemm(a, b, &pool));
+}
+
+TEST(ParallelSpGemmTest, EmptyOperands) {
+  ThreadPool pool(4);
+  SparseMatrix a(0, 5);
+  SparseMatrix b(5, 3);
+  ExpectBitwiseEqual(SpGemm(a, b), SpGemm(a, b, &pool));
+  SparseMatrix c = RandomSparse(6, 5, 0.3, 9);
+  SparseMatrix empty(5, 0);
+  ExpectBitwiseEqual(SpGemm(c, empty), SpGemm(c, empty, &pool));
+}
+
+TEST(ParallelHadamardTest, BitwiseMatchesSerialOnRandomMatrices) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SparseMatrix a = RandomSparse(53, 33, 0.25, 100 + seed);
+    SparseMatrix b = RandomSparse(53, 33, 0.25, 200 + seed);
+    ExpectBitwiseEqual(Hadamard(a, b), Hadamard(a, b, &pool));
+  }
+}
+
+TEST(ParallelTransposeTest, BitwiseMatchesSerialOnRandomMatrices) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SparseMatrix a = RandomSparse(45, 61, 0.2, 300 + seed);
+    ExpectBitwiseEqual(Transpose(a), Transpose(a, &pool));
+  }
+}
+
+TEST(ParallelTransposeTest, RoundTripIsIdentity) {
+  ThreadPool pool(4);
+  SparseMatrix a = RandomSparse(31, 47, 0.3, 400);
+  ExpectBitwiseEqual(a, Transpose(Transpose(a, &pool), &pool));
+}
+
+TEST(ParallelKernelsTest, NestedCallsFromPoolWorkersFallBackInline) {
+  // Per-diagram tasks run kernels with the same pool they execute on; the
+  // kernels must detect this and run inline instead of deadlocking.
+  ThreadPool pool(2);
+  SparseMatrix a = RandomSparse(24, 24, 0.3, 500);
+  SparseMatrix b = RandomSparse(24, 24, 0.3, 501);
+  SparseMatrix expected = SpGemm(a, b);
+  std::vector<SparseMatrix> results(8);
+  ThreadPool::ParallelFor(&pool, results.size(), [&](size_t i) {
+    results[i] = SpGemm(a, b, &pool);
+  });
+  for (const auto& r : results) ExpectBitwiseEqual(expected, r);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  for (auto& c : counts) c = 0;
+  ThreadPool::ParallelFor(&pool, counts.size(),
+                          [&](size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, ConcurrentCallsDoNotInterfere) {
+  // Two threads drive independent ParallelFor calls over one pool; the
+  // per-call latch must only release its own call's work.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&] {
+    ThreadPool::ParallelFor(&pool, 500, [&](size_t) { total++; });
+  });
+  ThreadPool::ParallelFor(&pool, 500, [&](size_t) { total++; });
+  other.join();
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(FromCsrTest, BuildsWithoutTripletSort) {
+  SparseMatrix m = SparseMatrix::FromCsr(2, 3, {0, 2, 3}, {0, 2, 1},
+                                         {1.0, 2.0, 3.0});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 2), 2.0);
+  EXPECT_EQ(m.At(1, 1), 3.0);
+}
+
+}  // namespace
+}  // namespace activeiter

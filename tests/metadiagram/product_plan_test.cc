@@ -1,0 +1,177 @@
+// The product-plan cache must be a pure optimisation: factoring shared
+// chain prefixes and serving reversed chains by transposition may change
+// how many SpGEMMs run, never a single count or proximity value.
+
+#include "src/metadiagram/product_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/linalg/sparse_ops.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/metadiagram/features.h"
+#include "src/metadiagram/meta_diagram.h"
+#include "src/metadiagram/proximity.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair TinyPair(uint64_t seed = 7) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(pair.ok());
+  return std::move(pair).ValueOrDie();
+}
+
+std::vector<AnchorLink> TrainAnchors(const AlignedPair& pair, size_t n) {
+  return {pair.anchors().begin(),
+          pair.anchors().begin() + static_cast<ptrdiff_t>(n)};
+}
+
+TEST(ProductPlanCacheTest, StoreLookupAndStats) {
+  ProductPlanCache cache;
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  auto m = std::make_shared<SparseMatrix>(SparseMatrix::Identity(3));
+  cache.Store("a", m);
+  EXPECT_EQ(cache.Lookup("a"), m);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // First store wins on a racing duplicate.
+  auto other = std::make_shared<SparseMatrix>(SparseMatrix::Identity(4));
+  EXPECT_EQ(cache.Store("a", other), m);
+}
+
+TEST(SignatureHelpersTest, MatchDiagramBuilderCanonicalForms) {
+  auto s1 = DiagramBuilder::Step(
+      StepRef::Rel(NetworkSide::kFirst, RelationType::kFollow, true));
+  auto s2 = DiagramBuilder::Step(StepRef::Anchor(true));
+  auto chain = DiagramBuilder::Chain({s1, s2});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(ChainSignature({s1->signature(), s2->signature()}),
+            chain.value()->signature());
+  EXPECT_EQ(ChainSignature({s1->signature()}), s1->signature());
+}
+
+TEST(TransposedSignatureTest, FlipsStepsAndReversesChains) {
+  auto fwd = DiagramBuilder::Step(
+      StepRef::Rel(NetworkSide::kFirst, RelationType::kFollow, true));
+  auto bwd = DiagramBuilder::Step(
+      StepRef::Rel(NetworkSide::kFirst, RelationType::kFollow, false));
+  EXPECT_EQ(TransposedSignature(*fwd), bwd->signature());
+
+  auto anchor = DiagramBuilder::Step(StepRef::Anchor(true));
+  auto chain = DiagramBuilder::Chain({fwd, anchor});
+  ASSERT_TRUE(chain.ok());
+  auto reversed =
+      DiagramBuilder::Chain({DiagramBuilder::Step(StepRef::Anchor(false)),
+                             bwd});
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(TransposedSignature(*chain.value()),
+            reversed.value()->signature());
+  // An involution: transposing twice is the original signature.
+  EXPECT_EQ(TransposedSignature(*reversed.value()),
+            chain.value()->signature());
+}
+
+TEST(PlanCacheEvaluatorTest, SharedEngineMatchesUncachedCounts) {
+  AlignedPair pair = TinyPair();
+  RelationContext ctx(pair, TrainAnchors(pair, 10));
+
+  EvaluatorOptions plain;
+  plain.share_chain_prefixes = false;
+  plain.share_transposes = false;
+  DiagramEvaluator uncached(&ctx, plain);
+  DiagramEvaluator shared(&ctx);  // prefix + transpose sharing on
+
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  for (const auto& diagram : catalog) {
+    auto a = uncached.Evaluate(diagram);
+    auto b = shared.Evaluate(diagram);
+    EXPECT_TRUE(a->Equals(*b, 0.0)) << diagram.id();
+  }
+  // The factoring must actually fire: strictly fewer products executed.
+  EXPECT_LT(shared.cache_stats().products, uncached.cache_stats().products);
+}
+
+TEST(PlanCacheEvaluatorTest, IdenticalProximityScoresToUncachedPath) {
+  AlignedPair pair = TinyPair(13);
+  RelationContext ctx(pair, TrainAnchors(pair, 12));
+
+  EvaluatorOptions plain;
+  plain.share_chain_prefixes = false;
+  plain.share_transposes = false;
+  DiagramEvaluator uncached(&ctx, plain);
+  ThreadPool pool(4);
+  EvaluatorOptions pooled;
+  pooled.pool = &pool;
+  DiagramEvaluator cached(&ctx, pooled);
+
+  CandidateLinkSet candidates;
+  for (NodeId u = 0; u < 15; ++u) candidates.Add(u, (u * 3) % 15);
+
+  auto catalog = StandardDiagramCatalog(FeatureSet::kMetaPathAndDiagram);
+  for (const auto& diagram : catalog) {
+    ProximityScores a(*uncached.Evaluate(diagram));
+    ProximityScores b(*cached.Evaluate(diagram));
+    Vector va = a.ScoresFor(candidates);
+    Vector vb = b.ScoresFor(candidates);
+    ASSERT_EQ(va.size(), vb.size());
+    for (size_t i = 0; i < va.size(); ++i) {
+      EXPECT_EQ(va(i), vb(i)) << diagram.id() << " candidate " << i;
+    }
+  }
+}
+
+TEST(PlanCacheEvaluatorTest, ReversedChainServedByTranspose) {
+  AlignedPair pair = TinyPair(3);
+  RelationContext ctx(pair, TrainAnchors(pair, 10));
+  DiagramEvaluator evaluator(&ctx);
+
+  constexpr auto kFirst = NetworkSide::kFirst;
+  constexpr auto kSecond = NetworkSide::kSecond;
+  auto forward = DiagramBuilder::Chain(
+      {DiagramBuilder::Step(StepRef::Rel(kFirst, RelationType::kFollow, true)),
+       DiagramBuilder::Step(StepRef::Anchor(true)),
+       DiagramBuilder::Step(
+           StepRef::Rel(kSecond, RelationType::kFollow, true))});
+  auto reversed = DiagramBuilder::Chain(
+      {DiagramBuilder::Step(
+           StepRef::Rel(kSecond, RelationType::kFollow, false)),
+       DiagramBuilder::Step(StepRef::Anchor(false)),
+       DiagramBuilder::Step(
+           StepRef::Rel(kFirst, RelationType::kFollow, false))});
+  ASSERT_TRUE(forward.ok() && reversed.ok());
+
+  auto fwd_counts = evaluator.Evaluate(forward.value());
+  EXPECT_EQ(evaluator.cache_stats().transpose_hits, 0u);
+  auto rev_counts = evaluator.Evaluate(reversed.value());
+  EXPECT_GE(evaluator.cache_stats().transpose_hits, 1u);
+
+  // The served matrix must equal an honest uncached evaluation.
+  EvaluatorOptions plain;
+  plain.share_chain_prefixes = false;
+  plain.share_transposes = false;
+  DiagramEvaluator honest(&ctx, plain);
+  EXPECT_TRUE(rev_counts->Equals(*honest.Evaluate(reversed.value()), 0.0));
+  EXPECT_TRUE(rev_counts->Equals(Transpose(*fwd_counts), 0.0));
+}
+
+TEST(PlanCacheEvaluatorTest, PooledExtractionMatchesSerialExactly) {
+  AlignedPair pair = TinyPair(17);
+  auto train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates;
+  for (NodeId u = 0; u < 12; ++u) candidates.Add(u, 11 - u);
+
+  FeatureExtractor serial(pair, train);
+  ThreadPool pool(4);
+  FeatureExtractorOptions options;
+  options.pool = &pool;
+  FeatureExtractor pooled(pair, train, options);
+
+  Matrix a = serial.Extract(candidates);
+  Matrix b = pooled.Extract(candidates);
+  EXPECT_EQ(Matrix::MaxAbsDiff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -15,11 +15,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/string_util.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/datagen/aligned_generator.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/stats.h"
@@ -160,10 +163,28 @@ int CmdAlign(const Flags& flags) {
     std::cerr << spec.status() << "\n";
     return 2;
   }
+  // Feature extraction / kernel threads, same knob as the benches. A
+  // non-numeric value parses to 0 and runs serially; absurd values are
+  // clamped so a typo cannot spawn a thread storm.
+  size_t threads = 4;
+  const char* threads_env = std::getenv("ACTIVEITER_THREADS");
+  if (threads_env != nullptr && *threads_env != '\0') {
+    threads = std::strtoull(threads_env, nullptr, 10);
+    const size_t hw = std::thread::hardware_concurrency();
+    const size_t cap = hw > 0 ? hw * 4 : 64;
+    if (threads > cap) {
+      std::cerr << "# ACTIVEITER_THREADS=" << threads_env << " clamped to "
+                << cap << "\n";
+      threads = cap;
+    }
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
   SweepOptions options;
   options.num_folds = 10;
   options.folds_to_run = flags.folds;
   options.seed = flags.seed;
+  options.pool = pool.get();
   auto result = RunNpRatioSweep(pair.value(), {flags.np_ratio},
                                 flags.sample_ratio, {spec.value()}, options);
   if (!result.ok()) {

@@ -97,6 +97,61 @@ void BM_RidgeSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_RidgeSolve)->Arg(2000)->Arg(20000);
 
+// The ridge cost of one full ActiveIter run: budget 100, batch 5 → 21
+// external rounds against a fixed |H| × 30 design matrix. The pre-session
+// engine rebuilt the O(|H|·d²) Gram and its Cholesky factorisation every
+// round; the AlignmentSession path prepares once and only re-solves. Same
+// arithmetic per solve, so the gap is pure factorisation reuse.
+constexpr size_t kActiveIterRounds = 21;
+
+Matrix RidgeBenchDesign(size_t rows, size_t d) {
+  Rng rng(5);
+  Matrix x(rows, d);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < d; ++j) x(i, j) = rng.UniformDouble();
+  }
+  return x;
+}
+
+void BM_RidgeRefactorPerRound(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Matrix x = RidgeBenchDesign(rows, 30);
+  Rng rng(6);
+  Vector y(rows);
+  for (size_t i = 0; i < rows; ++i) y(i) = rng.Bernoulli(0.02) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    for (size_t round = 0; round < kActiveIterRounds; ++round) {
+      auto solver = RidgeSolver::Create(x, 1.0);
+      benchmark::DoNotOptimize(solver.value().Solve(y));
+    }
+  }
+}
+BENCHMARK(BM_RidgeRefactorPerRound)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RidgePrepareOnce(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Matrix x = RidgeBenchDesign(rows, 30);
+  Rng rng(6);
+  Vector y(rows);
+  for (size_t i = 0; i < rows; ++i) y(i) = rng.Bernoulli(0.02) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    RidgePrepared prepared = RidgePrepared::Create(x);
+    auto solver = prepared.SolverFor(1.0);
+    for (size_t round = 0; round < kActiveIterRounds; ++round) {
+      benchmark::DoNotOptimize(solver.value().Solve(y));
+    }
+  }
+}
+BENCHMARK(BM_RidgePrepareOnce)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
 struct SelectionFixture {
   AlignedPair pair;
   CandidateLinkSet candidates;

@@ -29,7 +29,15 @@ std::unique_ptr<QueryStrategy> ActiveIterModel::MakeStrategy() const {
 
 Result<ActiveIterResult> ActiveIterModel::Run(const AlignmentProblem& problem,
                                               Oracle* oracle) const {
-  ACTIVEITER_RETURN_IF_ERROR(problem.Validate());
+  // Validation (pointers, sizes, c > 0, oracle presence) lives in Prepare
+  // and the session overload; this wrapper only wires them together.
+  auto session = problem.Prepare(options_.base.c);
+  if (!session.ok()) return session.status();
+  return Run(session.value(), oracle);
+}
+
+Result<ActiveIterResult> ActiveIterModel::Run(AlignmentSession& session,
+                                              Oracle* oracle) const {
   if (oracle == nullptr) {
     return Status::InvalidArgument("ActiveIter requires an oracle");
   }
@@ -41,14 +49,14 @@ Result<ActiveIterResult> ActiveIterModel::Run(const AlignmentProblem& problem,
   std::unique_ptr<QueryStrategy> strategy = MakeStrategy();
   Rng rng(options_.seed);
 
-  // Working copy of the pin state; query answers are pinned as we go.
-  AlignmentProblem work = problem;
   ActiveIterResult result;
 
   size_t budget = std::min(options_.budget, oracle->remaining_budget());
   for (;;) {
-    // External step (1): internal alternation to convergence.
-    auto aligned_or = aligner.Align(work);
+    // External step (1): internal alternation to convergence against the
+    // shared factorisation; only the session's pins changed since last
+    // round.
+    auto aligned_or = aligner.Align(session);
     if (!aligned_or.ok()) return aligned_or.status();
     AlignmentResult aligned = std::move(aligned_or).value();
     result.round_traces.push_back(aligned.trace);
@@ -65,17 +73,17 @@ Result<ActiveIterResult> ActiveIterModel::Run(const AlignmentProblem& problem,
     QueryContext ctx;
     ctx.scores = &result.scores;
     ctx.y = &result.y;
-    ctx.index = work.index;
-    ctx.pinned = &work.pinned;
+    ctx.index = &session.index();
+    ctx.pinned = &session.pinned();
     std::vector<size_t> batch = strategy->SelectQueries(
         ctx, std::min(options_.batch_size, remaining), &rng);
     if (batch.empty()) break;  // no informative candidates left
 
     for (size_t link_id : batch) {
-      ACTIVEITER_CHECK(work.pinned[link_id] == Pin::kFree);
+      ACTIVEITER_CHECK(session.pinned()[link_id] == Pin::kFree);
       double label =
-          oracle->QueryLink(work.index->candidates(), link_id);
-      work.pinned[link_id] = label > 0.5 ? Pin::kPositive : Pin::kNegative;
+          oracle->QueryLink(session.index().candidates(), link_id);
+      session.SetPin(link_id, label > 0.5 ? Pin::kPositive : Pin::kNegative);
       result.queries.push_back({link_id, label});
     }
   }

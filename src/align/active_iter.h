@@ -6,6 +6,10 @@
 //             oracle, pin the answers,
 // until the query budget b is exhausted (b/k rounds of batch size k), then
 // run one final internal alternation.
+//
+// The design matrix X never changes between rounds, so the whole loop runs
+// against one AlignmentSession: the ridge system is factored exactly once
+// per run (not once per round) and only the session's pins move.
 
 #ifndef ACTIVEITER_ALIGN_ACTIVE_ITER_H_
 #define ACTIVEITER_ALIGN_ACTIVE_ITER_H_
@@ -72,8 +76,17 @@ class ActiveIterModel {
 
   /// Runs the external loop. `problem.pinned` supplies the initial labeled
   /// set L+ (and any pre-queried labels); `oracle` answers queries and is
-  /// consulted at most options.budget times.
+  /// consulted at most options.budget times. Prepares an internal session
+  /// (one factorisation for the entire run).
   Result<ActiveIterResult> Run(const AlignmentProblem& problem,
+                               Oracle* oracle) const;
+
+  /// Same, against a caller-owned prepared session whose pins already hold
+  /// L+ (and any pre-queried labels). No factorisation happens here; query
+  /// answers are pinned into the session as the loop progresses, so the
+  /// caller sees the final pin state afterwards. session.c() must equal
+  /// options().base.c.
+  Result<ActiveIterResult> Run(AlignmentSession& session,
                                Oracle* oracle) const;
 
   const ActiveIterOptions& options() const { return options_; }

@@ -4,36 +4,33 @@
 
 namespace activeiter {
 
-Status AlignmentProblem::Validate() const {
-  if (x == nullptr || index == nullptr) {
-    return Status::InvalidArgument("AlignmentProblem pointers must be set");
-  }
-  if (pinned.size() != x->rows()) {
-    return Status::InvalidArgument("pin vector size must match feature rows");
-  }
-  if (index->candidate_count() != x->rows()) {
-    return Status::InvalidArgument(
-        "incidence index size must match feature rows");
-  }
-  return Status::OK();
-}
-
 Result<AlignmentResult> IterAligner::Align(
     const AlignmentProblem& problem) const {
-  ACTIVEITER_RETURN_IF_ERROR(problem.Validate());
   if (options_.c <= 0.0) {
     return Status::InvalidArgument("IterAlignerOptions.c must be > 0");
   }
+  auto session = problem.Prepare(options_.c);
+  if (!session.ok()) return session.status();
+  return Align(session.value());
+}
 
-  const size_t n = problem.x->rows();
-  auto solver_or = RidgeSolver::Create(*problem.x, options_.c);
-  if (!solver_or.ok()) return solver_or.status();
-  const RidgeSolver& solver = solver_or.value();
+Result<AlignmentResult> IterAligner::Align(
+    const AlignmentSession& session) const {
+  if (options_.c <= 0.0) {
+    return Status::InvalidArgument("IterAlignerOptions.c must be > 0");
+  }
+  if (session.c() != options_.c) {
+    return Status::InvalidArgument(
+        "session was prepared for a different ridge weight c");
+  }
+  const RidgeSolver& solver = session.solver();
+  const std::vector<Pin>& pinned = session.pinned();
+  const size_t n = session.size();
 
   // Initial labels: pinned values, free links 0.
   Vector y(n);
   for (size_t i = 0; i < n; ++i) {
-    y(i) = problem.pinned[i] == Pin::kPositive ? 1.0 : 0.0;
+    y(i) = pinned[i] == Pin::kPositive ? 1.0 : 0.0;
   }
 
   AlignmentResult result;
@@ -44,9 +41,9 @@ Result<AlignmentResult> IterAligner::Align(
     Vector scores = solver.Predict(w);
     Vector y_next =
         options_.selection == SelectionAlgorithm::kGreedy
-            ? GreedySelect(scores, *problem.index, problem.pinned,
+            ? GreedySelect(scores, session.index(), pinned,
                            options_.threshold)
-            : HungarianSelect(scores, *problem.index, problem.pinned,
+            : HungarianSelect(scores, session.index(), pinned,
                               options_.threshold);
     // Queried negatives stay 0 and pinned positives stay 1 by construction
     // of GreedySelect; measure label movement.

@@ -5,6 +5,10 @@
 // until the label vector stops changing. Running this once with no query
 // budget is exactly the Iter-MPMD baseline; ActiveIter wraps it with the
 // active query loop.
+//
+// The alternation runs against an AlignmentSession (see session.h), so the
+// ridge system is factored once per session rather than once per call; the
+// problem-level Align() overload prepares a throwaway session internally.
 
 #ifndef ACTIVEITER_ALIGN_ITER_ALIGNER_H_
 #define ACTIVEITER_ALIGN_ITER_ALIGNER_H_
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "src/align/greedy_selection.h"
+#include "src/align/session.h"
 #include "src/common/status.h"
 #include "src/graph/incidence.h"
 #include "src/learn/ridge.h"
@@ -38,18 +43,6 @@ struct IterAlignerOptions {
   SelectionAlgorithm selection = SelectionAlgorithm::kGreedy;
 };
 
-/// The shared inputs of one alignment run: features X over the candidate
-/// set H, its incidence index, and the pin state (labeled positives L+,
-/// plus queried labels when running inside ActiveIter).
-struct AlignmentProblem {
-  const Matrix* x = nullptr;            // |H| × d, bias column included
-  const IncidenceIndex* index = nullptr;
-  std::vector<Pin> pinned;              // |H| entries
-
-  /// Validates sizes and pointer presence.
-  Status Validate() const;
-};
-
 /// Per-iteration Δy = ‖yᵢ − yᵢ₋₁‖₁ trace (the series of Figure 3).
 struct IterationTrace {
   std::vector<double> delta_y;
@@ -71,9 +64,16 @@ class IterAligner {
   explicit IterAligner(IterAlignerOptions options = {})
       : options_(options) {}
 
-  /// Solves the problem. Fails on invalid inputs or a singular ridge
-  /// system (impossible for c > 0 but surfaced rather than swallowed).
+  /// Solves the problem with a session prepared on the spot (one
+  /// factorisation per call, the pre-session behaviour). Fails on invalid
+  /// inputs or a singular ridge system (impossible for c > 0 but surfaced
+  /// rather than swallowed).
   Result<AlignmentResult> Align(const AlignmentProblem& problem) const;
+
+  /// Runs the alternation against a prepared session (no factorisation;
+  /// the session's pins seed the labels). session.c() must equal
+  /// options().c.
+  Result<AlignmentResult> Align(const AlignmentSession& session) const;
 
   const IterAlignerOptions& options() const { return options_; }
 

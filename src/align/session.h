@@ -1,0 +1,98 @@
+// The stateful session layer of the learn→align→eval stack.
+//
+// The paper's external loop (§III-D) alternates ridge fits and label
+// inference over a *fixed* design matrix X: between external ActiveIter
+// rounds only the pin state changes. AlignmentSession splits those two
+// lifetimes apart:
+//
+//   problem-invariant — the design matrix view, its factored ridge system
+//     (Gram product + per-c Cholesky, built exactly once by Prepare()),
+//     and the incidence index view;
+//   per-round — the pin state (L+ plus queried labels), cheap to mutate
+//     or reset between runs.
+//
+// A full ActiveIter run (budget 100, batch 5 → 21 rounds) against one
+// session performs exactly one Gram/Cholesky factorisation instead of one
+// per round, with bitwise-identical results; FoldRunner shares one session
+// per (feature set, c) across all PU methods of a fold.
+
+#ifndef ACTIVEITER_ALIGN_SESSION_H_
+#define ACTIVEITER_ALIGN_SESSION_H_
+
+#include <vector>
+
+#include "src/align/greedy_selection.h"
+#include "src/common/status.h"
+#include "src/graph/incidence.h"
+#include "src/learn/ridge.h"
+
+namespace activeiter {
+
+class ThreadPool;
+
+/// Prepared solver state plus mutable pin state for one alignment run (or
+/// a sequence of runs over the same X and c). `x` and `index` must outlive
+/// the session; both are borrowed, the pin state is owned.
+class AlignmentSession {
+ public:
+  /// Builds the session: one Gram product (pool-parallel when `pool` is
+  /// given) and one Cholesky factorisation of I + cXᵀX. Pins start kFree.
+  static Result<AlignmentSession> Create(const Matrix& x,
+                                         const IncidenceIndex& index,
+                                         double c,
+                                         ThreadPool* pool = nullptr);
+
+  // --- problem-invariant state ---
+  const Matrix& x() const { return *x_; }
+  const IncidenceIndex& index() const { return *index_; }
+  double c() const { return solver_.c(); }
+  /// The factored ridge system (shared by every round).
+  const RidgeSolver& solver() const { return solver_; }
+  /// The factor-once Gram state (derive solvers for other c from it).
+  const RidgePrepared& prepared() const { return prepared_; }
+  /// |H|: number of candidate links.
+  size_t size() const { return x_->rows(); }
+
+  // --- per-round state ---
+  const std::vector<Pin>& pinned() const { return pinned_; }
+  /// Replaces the whole pin state (|H| entries; checked).
+  void ResetPins(std::vector<Pin> pinned);
+  /// Pins one link (query answers during the active loop).
+  void SetPin(size_t link_id, Pin pin);
+
+ private:
+  AlignmentSession(const Matrix* x, const IncidenceIndex* index,
+                   RidgePrepared prepared, RidgeSolver solver)
+      : x_(x),
+        index_(index),
+        prepared_(std::move(prepared)),
+        solver_(std::move(solver)),
+        pinned_(x->rows(), Pin::kFree) {}
+
+  const Matrix* x_;
+  const IncidenceIndex* index_;
+  RidgePrepared prepared_;
+  RidgeSolver solver_;
+  std::vector<Pin> pinned_;
+};
+
+/// The shared inputs of one alignment run: features X over the candidate
+/// set H, its incidence index, and the pin state (labeled positives L+,
+/// plus queried labels when running inside ActiveIter).
+struct AlignmentProblem {
+  const Matrix* x = nullptr;            // |H| × d, bias column included
+  const IncidenceIndex* index = nullptr;
+  std::vector<Pin> pinned;              // |H| entries
+
+  /// Validates sizes and pointer presence.
+  Status Validate() const;
+
+  /// Builds a session for ridge weight `c` seeded with this problem's pin
+  /// state. The problem's `x`/`index` must outlive the session.
+  Result<AlignmentSession> Prepare(double c,
+                                   ThreadPool* pool = nullptr) const;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_ALIGN_SESSION_H_

@@ -5,6 +5,10 @@
 namespace activeiter {
 namespace {
 
+// π to full double precision. The repo builds as C++17, so std::numbers
+// (C++20) is unavailable; M_PI is POSIX, not ISO C++.
+constexpr double kPi = 3.14159265358979323846;
+
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
@@ -70,7 +74,7 @@ double Rng::Normal(double mean, double stddev) {
   } while (u1 <= 1e-300);
   double u2 = UniformDouble();
   double r = std::sqrt(-2.0 * std::log(u1));
-  double theta = 2.0 * 3.14159265358979323846 * u2;
+  double theta = 2.0 * kPi * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return mean + stddev * r * std::cos(theta);

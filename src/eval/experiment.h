@@ -2,11 +2,15 @@
 //
 // The six comparison methods of Tables III/IV are declared as MethodSpecs;
 // FoldRunner executes any spec on one fold, sharing the (expensive) feature
-// extraction between methods that use the same feature set.
+// extraction between methods that use the same feature set and one prepared
+// AlignmentSession between PU methods that share a (feature set, c): the
+// ridge system is factored once per fold per (feature set, c), however many
+// methods and external rounds run against it.
 
 #ifndef ACTIVEITER_EVAL_EXPERIMENT_H_
 #define ACTIVEITER_EVAL_EXPERIMENT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,10 +90,17 @@ class FoldRunner {
   /// Feature matrix over H for a set (cached after first use).
   const Matrix& FeaturesFor(FeatureSet set, bool include_word_path = false);
 
+  /// Prepared session for a (feature set, word extension, ridge c); the
+  /// factorisation is built on first use and shared by every later PU run
+  /// with the same key. Pins are whatever the last run left — callers
+  /// reset them. Fails only on a singular ridge system.
+  Result<AlignmentSession*> SessionFor(FeatureSet set, bool include_word_path,
+                                       double c);
+
  private:
   Result<MethodOutcome> RunSvm(const MethodSpec& spec, const Matrix& x);
-  Result<MethodOutcome> RunIter(const MethodSpec& spec, const Matrix& x);
-  Result<MethodOutcome> RunActive(const MethodSpec& spec, const Matrix& x);
+  Result<MethodOutcome> RunIter(const MethodSpec& spec);
+  Result<MethodOutcome> RunActive(const MethodSpec& spec);
 
   std::vector<Pin> InitialPins() const;
 
@@ -100,6 +111,15 @@ class FoldRunner {
   IncidenceIndex index_;
   // Cache slots indexed by (feature set, word extension).
   std::optional<Matrix> features_[2][2];
+  // Prepared sessions keyed by (feature slot, word slot, c). unique_ptr
+  // keeps session addresses stable while the vector grows.
+  struct SessionEntry {
+    int set_slot;
+    int word_slot;
+    double c;
+    std::unique_ptr<AlignmentSession> session;
+  };
+  std::vector<SessionEntry> sessions_;
 };
 
 }  // namespace activeiter

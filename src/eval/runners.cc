@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace activeiter {
 namespace {
@@ -15,6 +16,13 @@ size_t FoldsToRun(const SweepOptions& options) {
 
 /// Runs the (methods × folds) grid for one protocol configuration and
 /// appends a column of aggregates to `out`.
+///
+/// Whole folds are dispatched onto the pool: folds are independent (each
+/// seeds its own Rng streams and builds its own FoldRunner), so they run
+/// concurrently while the methods within a fold stay sequential to share
+/// the fold's feature and session caches. Per-fold outcomes land in
+/// pre-assigned slots and are aggregated afterwards in fold order, so the
+/// aggregates are identical to the serial execution.
 Status RunOneConfig(const AlignedPair& pair, const ProtocolConfig& pcfg,
                     const std::vector<MethodSpec>& methods,
                     const SweepOptions& options,
@@ -24,17 +32,32 @@ Status RunOneConfig(const AlignedPair& pair, const ProtocolConfig& pcfg,
   if (!protocol_or.ok()) return protocol_or.status();
   const Protocol& protocol = protocol_or.value();
 
-  std::vector<MetricAggregate> aggregates(methods.size());
-  std::vector<MeanStd> seconds(methods.size());
   size_t folds = FoldsToRun(options);
-  for (size_t fold = 0; fold < folds; ++fold) {
+  std::vector<std::vector<MethodOutcome>> outcomes(
+      folds, std::vector<MethodOutcome>(methods.size()));
+  std::vector<Status> fold_status(folds, Status::OK());
+  ThreadPool::ParallelFor(options.pool, folds, [&](size_t fold) {
     FoldRunner runner(pair, protocol.MakeFold(fold),
                       options.seed ^ (fold * 0x9E3779B9ULL), options.pool);
     for (size_t m = 0; m < methods.size(); ++m) {
       auto outcome = runner.Run(methods[m]);
-      if (!outcome.ok()) return outcome.status();
-      aggregates[m].Add(outcome.value().metrics);
-      seconds[m].Add(outcome.value().seconds);
+      if (!outcome.ok()) {
+        fold_status[fold] = outcome.status();
+        return;
+      }
+      outcomes[fold][m] = std::move(outcome).value();
+    }
+  });
+  for (size_t fold = 0; fold < folds; ++fold) {
+    if (!fold_status[fold].ok()) return fold_status[fold];
+  }
+
+  std::vector<MetricAggregate> aggregates(methods.size());
+  std::vector<MeanStd> seconds(methods.size());
+  for (size_t fold = 0; fold < folds; ++fold) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      aggregates[m].Add(outcomes[fold][m].metrics);
+      seconds[m].Add(outcomes[fold][m].seconds);
     }
   }
   *agg_out = std::move(aggregates);

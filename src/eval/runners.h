@@ -27,6 +27,11 @@ struct SweepOptions {
   size_t num_folds = 10;     // paper: 10; benches default lower for speed
   size_t folds_to_run = 0;   // 0 = all folds
   uint64_t seed = 1234;
+  /// Parallelism for the sweep: whole folds are dispatched onto the pool
+  /// (fold tasks then run their kernels inline), and single-fold analyses
+  /// fan feature extraction out over it. Aggregates are identical to the
+  /// serial (pool == nullptr) run — folds are independently seeded and
+  /// reduced in fold order.
   ThreadPool* pool = nullptr;
 };
 

@@ -1,8 +1,18 @@
 #include "src/linalg/cholesky.h"
 
+#include <atomic>
 #include <cmath>
 
 namespace activeiter {
+namespace {
+
+std::atomic<uint64_t> total_factor_count{0};
+
+}  // namespace
+
+uint64_t CholeskyFactor::TotalFactorCount() {
+  return total_factor_count.load(std::memory_order_relaxed);
+}
 
 Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
   if (a.rows() != a.cols()) {
@@ -25,6 +35,7 @@ Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
       l(i, j) = acc / ljj;
     }
   }
+  total_factor_count.fetch_add(1, std::memory_order_relaxed);
   return CholeskyFactor(std::move(l));
 }
 

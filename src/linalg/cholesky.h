@@ -9,6 +9,8 @@
 #ifndef ACTIVEITER_LINALG_CHOLESKY_H_
 #define ACTIVEITER_LINALG_CHOLESKY_H_
 
+#include <cstdint>
+
 #include "src/common/status.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/vector.h"
@@ -30,6 +32,11 @@ class CholeskyFactor {
 
   /// log(det(A)) = 2·Σ log L_ii; used by tests as a factorisation probe.
   double LogDet() const;
+
+  /// Process-wide count of successful factorisations (relaxed atomic).
+  /// Tests diff this around a code path to pin down exactly how many
+  /// factorisations it performed (the AlignmentSession reuse guarantee).
+  static uint64_t TotalFactorCount();
 
   size_t dim() const { return l_.rows(); }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/thread_pool.h"
+
 namespace activeiter {
 
 Matrix Matrix::Identity(size_t n) {
@@ -69,17 +71,22 @@ Vector Matrix::TransposeMatVec(const Vector& v) const {
   return out;
 }
 
-Matrix Matrix::Gram() const {
+Matrix Matrix::Gram(ThreadPool* pool) const {
   Matrix out(cols_, cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = row_data(i);
-    for (size_t j = 0; j < cols_; ++j) {
-      double aj = a_row[j];
-      if (aj == 0.0) continue;
-      double* out_row = out.row_data(j);
-      for (size_t k = j; k < cols_; ++k) out_row[k] += aj * a_row[k];
+  // Each task owns output rows [jb, je) of the upper triangle and scans the
+  // design rows in the same i = 0..rows order as the serial build, so every
+  // entry sums in the identical floating-point order regardless of pool.
+  ThreadPool::ParallelForRanges(pool, cols_, [&](size_t jb, size_t je) {
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* a_row = row_data(i);
+      for (size_t j = jb; j < je; ++j) {
+        double aj = a_row[j];
+        if (aj == 0.0) continue;
+        double* out_row = out.row_data(j);
+        for (size_t k = j; k < cols_; ++k) out_row[k] += aj * a_row[k];
+      }
     }
-  }
+  });
   // Mirror the upper triangle.
   for (size_t j = 0; j < cols_; ++j) {
     for (size_t k = j + 1; k < cols_; ++k) out(k, j) = out(j, k);

@@ -16,6 +16,8 @@
 
 namespace activeiter {
 
+class ThreadPool;
+
 /// Dense row-major matrix with bounds-checked access.
 class Matrix {
  public:
@@ -65,7 +67,13 @@ class Matrix {
   Vector TransposeMatVec(const Vector& v) const;
 
   /// Gram matrix thisᵀ·this (cols×cols), the hot input of ridge regression.
-  Matrix Gram() const;
+  Matrix Gram() const { return Gram(nullptr); }
+
+  /// Pooled Gram build: output columns are partitioned across the pool
+  /// while every task walks the rows in order, so each entry accumulates
+  /// in exactly the serial order — the result is bitwise-identical to
+  /// Gram() for any pool.
+  Matrix Gram(ThreadPool* pool) const;
 
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;

@@ -13,9 +13,7 @@ namespace {
 // sized to B.cols(), so over-chunking costs memory, not balance.
 size_t NumRowBlocks(size_t rows, ThreadPool* pool) {
   if (rows == 0) return 0;
-  if (pool == nullptr || pool->num_threads() == 1 || pool->IsWorkerThread()) {
-    return 1;
-  }
+  if (ThreadPool::RunsInline(pool, rows)) return 1;
   return std::min(rows, pool->num_threads() * 2);
 }
 

@@ -71,5 +71,50 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPoolTest, RunsInlinePredicate) {
+  EXPECT_TRUE(ThreadPool::RunsInline(nullptr, 100));
+  ThreadPool single(1);
+  EXPECT_TRUE(ThreadPool::RunsInline(&single, 100));
+  ThreadPool pool(3);
+  EXPECT_TRUE(ThreadPool::RunsInline(&pool, 0));
+  EXPECT_TRUE(ThreadPool::RunsInline(&pool, 1));
+  EXPECT_FALSE(ThreadPool::RunsInline(&pool, 2));
+  // Nested calls from a worker of the same pool run inline; other pools'
+  // workers do not affect the decision.
+  std::atomic<int> inline_in_worker{-1};
+  pool.Submit([&] {
+    inline_in_worker.store(ThreadPool::RunsInline(&pool, 100) ? 1 : 0);
+  });
+  pool.Wait();
+  EXPECT_EQ(inline_in_worker.load(), 1);
+  EXPECT_FALSE(ThreadPool::RunsInline(&pool, 100));
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoversDisjointRanges) {
+  ThreadPool pool(4);
+  const size_t n = 1037;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  ThreadPool::ParallelForRanges(&pool, n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCallerRunsAChunk) {
+  // Caller-runs: the submitting thread must execute one of the ranges
+  // itself rather than parking on the completion latch.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_ran{false};
+  std::atomic<int> chunks{0};
+  ThreadPool::ParallelForRanges(&pool, 64, [&](size_t, size_t) {
+    chunks.fetch_add(1);
+    if (std::this_thread::get_id() == caller) caller_ran.store(true);
+  });
+  EXPECT_TRUE(caller_ran.load());
+  EXPECT_GE(chunks.load(), 2);
+}
+
 }  // namespace
 }  // namespace activeiter

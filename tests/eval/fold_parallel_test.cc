@@ -1,0 +1,139 @@
+// Fold-parallel sweep engine: dispatching whole folds onto the ThreadPool
+// must reproduce the serial aggregates exactly (folds are independently
+// seeded and reduced in fold order), and the per-fold session cache must
+// factor the ridge system once per (feature set, c) no matter how many PU
+// methods run.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/eval/runners.h"
+#include "src/linalg/cholesky.h"
+
+namespace activeiter {
+namespace {
+
+class FoldParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto pair = AlignedNetworkGenerator(TinyPreset(23)).Generate();
+    ASSERT_TRUE(pair.ok());
+    pair_ = new AlignedPair(std::move(pair).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete pair_;
+    pair_ = nullptr;
+  }
+
+  static SweepOptions Options(ThreadPool* pool) {
+    SweepOptions options;
+    options.num_folds = 5;
+    options.folds_to_run = 3;
+    options.seed = 29;
+    options.pool = pool;
+    return options;
+  }
+
+  static void ExpectAggregatesIdentical(const SweepResult& a,
+                                        const SweepResult& b) {
+    ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+    for (size_t m = 0; m < a.aggregates.size(); ++m) {
+      ASSERT_EQ(a.aggregates[m].size(), b.aggregates[m].size());
+      for (size_t xi = 0; xi < a.aggregates[m].size(); ++xi) {
+        const MetricAggregate& ma = a.aggregates[m][xi];
+        const MetricAggregate& mb = b.aggregates[m][xi];
+        EXPECT_EQ(ma.f1.count(), mb.f1.count());
+        EXPECT_EQ(ma.f1.Mean(), mb.f1.Mean());
+        EXPECT_EQ(ma.f1.Std(), mb.f1.Std());
+        EXPECT_EQ(ma.precision.Mean(), mb.precision.Mean());
+        EXPECT_EQ(ma.recall.Mean(), mb.recall.Mean());
+        EXPECT_EQ(ma.accuracy.Mean(), mb.accuracy.Mean());
+      }
+    }
+  }
+
+  static AlignedPair* pair_;
+};
+
+AlignedPair* FoldParallelTest::pair_ = nullptr;
+
+TEST_F(FoldParallelTest, NpRatioSweepParallelMatchesSerial) {
+  std::vector<MethodSpec> methods = {IterMpmdSpec(), ActiveIterSpec(10)};
+  auto serial =
+      RunNpRatioSweep(*pair_, {2.0, 5.0}, 0.6, methods, Options(nullptr));
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+  auto parallel =
+      RunNpRatioSweep(*pair_, {2.0, 5.0}, 0.6, methods, Options(&pool));
+  ASSERT_TRUE(parallel.ok());
+  ExpectAggregatesIdentical(serial.value(), parallel.value());
+}
+
+TEST_F(FoldParallelTest, SampleRatioSweepParallelMatchesSerial) {
+  std::vector<MethodSpec> methods = {IterMpmdSpec()};
+  auto serial =
+      RunSampleRatioSweep(*pair_, 3.0, {0.4, 1.0}, methods, Options(nullptr));
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(3);
+  auto parallel =
+      RunSampleRatioSweep(*pair_, 3.0, {0.4, 1.0}, methods, Options(&pool));
+  ASSERT_TRUE(parallel.ok());
+  ExpectAggregatesIdentical(serial.value(), parallel.value());
+}
+
+TEST_F(FoldParallelTest, BudgetSweepParallelMatchesSerial) {
+  auto serial = RunBudgetSweep(*pair_, 3.0, 0.6, {5, 10}, Options(nullptr));
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+  auto parallel = RunBudgetSweep(*pair_, 3.0, 0.6, {5, 10}, Options(&pool));
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().active.size(), parallel.value().active.size());
+  for (size_t i = 0; i < serial.value().active.size(); ++i) {
+    EXPECT_EQ(serial.value().active[i].f1.Mean(),
+              parallel.value().active[i].f1.Mean());
+    EXPECT_EQ(serial.value().active_rand[i].f1.Mean(),
+              parallel.value().active_rand[i].f1.Mean());
+  }
+  EXPECT_EQ(serial.value().iter_ref_gamma.f1.Mean(),
+            parallel.value().iter_ref_gamma.f1.Mean());
+  EXPECT_EQ(serial.value().iter_ref_gamma_plus.f1.Mean(),
+            parallel.value().iter_ref_gamma_plus.f1.Mean());
+}
+
+TEST_F(FoldParallelTest, FoldRunnerFactorsOncePerFeatureSetAndC) {
+  ProtocolConfig pcfg;
+  pcfg.np_ratio = 3.0;
+  pcfg.sample_ratio = 0.6;
+  pcfg.num_folds = 5;
+  pcfg.seed = 31;
+  auto protocol = Protocol::Create(*pair_, pcfg);
+  ASSERT_TRUE(protocol.ok());
+  FoldRunner runner(*pair_, protocol.value().MakeFold(0), 7, nullptr);
+
+  // Three PU methods sharing (MetaPathAndDiagram, c = 1): one
+  // factorisation total, across every external round of every method.
+  const uint64_t before = CholeskyFactor::TotalFactorCount();
+  ASSERT_TRUE(runner.Run(ActiveIterSpec(10)).ok());
+  ASSERT_TRUE(runner.Run(ActiveIterSpec(5, QueryStrategyKind::kRandom)).ok());
+  ASSERT_TRUE(runner.Run(IterMpmdSpec()).ok());
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount() - before, 1u);
+
+  // A different c is a different session: exactly one more factorisation.
+  MethodSpec other_c = IterMpmdSpec();
+  other_c.ridge_c = 2.0;
+  ASSERT_TRUE(runner.Run(other_c).ok());
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount() - before, 2u);
+
+  // A different feature set is a different session too.
+  MethodSpec mp_only = IterMpmdSpec();
+  mp_only.features = FeatureSet::kMetaPathOnly;
+  ASSERT_TRUE(runner.Run(mp_only).ok());
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount() - before, 3u);
+}
+
+}  // namespace
+}  // namespace activeiter

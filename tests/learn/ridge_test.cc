@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace activeiter {
 namespace {
@@ -108,6 +109,59 @@ TEST(RidgeTest, SolutionMinimisesObjective) {
     for (size_t j = 0; j < 3; ++j) perturbed(j) += rng.Normal(0.0, 0.01);
     EXPECT_GE(objective(perturbed), base - 1e-12);
   }
+}
+
+TEST(RidgePreparedTest, SolverForMatchesOneShotBitwise) {
+  Matrix x = RandomDesign(50, 6, 11);
+  Vector y(50);
+  Rng rng(12);
+  for (size_t i = 0; i < 50; ++i) y(i) = rng.Bernoulli(0.2) ? 1.0 : 0.0;
+
+  RidgePrepared prepared = RidgePrepared::Create(x);
+  for (double c : {0.1, 1.0, 7.5}) {
+    auto derived = prepared.SolverFor(c);
+    ASSERT_TRUE(derived.ok());
+    auto one_shot = RidgeSolver::Create(x, c);
+    ASSERT_TRUE(one_shot.ok());
+    Vector w_derived = derived.value().Solve(y);
+    Vector w_one_shot = one_shot.value().Solve(y);
+    ASSERT_EQ(w_derived.size(), w_one_shot.size());
+    for (size_t j = 0; j < w_derived.size(); ++j) {
+      EXPECT_EQ(w_derived(j), w_one_shot(j)) << "c=" << c << " j=" << j;
+    }
+  }
+}
+
+TEST(RidgePreparedTest, SolverForRejectsNonPositiveC) {
+  Matrix x = RandomDesign(10, 3, 13);
+  RidgePrepared prepared = RidgePrepared::Create(x);
+  EXPECT_FALSE(prepared.SolverFor(0.0).ok());
+  EXPECT_FALSE(prepared.SolverFor(-2.0).ok());
+}
+
+TEST(RidgePreparedTest, GramIsDesignGram) {
+  Matrix x = RandomDesign(12, 4, 14);
+  RidgePrepared prepared = RidgePrepared::Create(x);
+  EXPECT_EQ(Matrix::MaxAbsDiff(prepared.gram(), x.Gram()), 0.0);
+  EXPECT_EQ(&prepared.x(), &x);
+}
+
+TEST(RidgePreparedTest, PooledPreparationBitwiseEqualsSerial) {
+  Matrix x = RandomDesign(120, 8, 15);
+  Vector y(120);
+  Rng rng(16);
+  for (size_t i = 0; i < 120; ++i) y(i) = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+  ThreadPool pool(4);
+  RidgePrepared serial = RidgePrepared::Create(x);
+  RidgePrepared pooled = RidgePrepared::Create(x, &pool);
+  EXPECT_EQ(Matrix::MaxAbsDiff(serial.gram(), pooled.gram()), 0.0);
+  auto ws = serial.SolverFor(1.0);
+  auto wp = pooled.SolverFor(1.0);
+  ASSERT_TRUE(ws.ok());
+  ASSERT_TRUE(wp.ok());
+  Vector a = ws.value().Solve(y);
+  Vector b = wp.value().Solve(y);
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a(j), b(j));
 }
 
 // Property sweep: paper closed form w = c(I + cXᵀX)⁻¹Xᵀy holds for many c.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace activeiter {
 namespace {
@@ -81,6 +82,22 @@ TEST(MatrixTest, GramIsSymmetric) {
   for (size_t i = 0; i < 6; ++i) {
     for (size_t j = 0; j < 6; ++j) EXPECT_EQ(gram(i, j), gram(j, i));
   }
+}
+
+TEST(MatrixTest, PooledGramBitwiseEqualsSerial) {
+  // The pooled build partitions output columns, not rows, so every entry
+  // accumulates in the serial floating-point order: results must be
+  // bit-for-bit identical, not merely close.
+  Matrix m = RandomMatrix(203, 17, 7);
+  Matrix serial = m.Gram();
+  ThreadPool pool(4);
+  Matrix pooled = m.Gram(&pool);
+  EXPECT_EQ(Matrix::MaxAbsDiff(serial, pooled), 0.0);
+  // And from a worker thread (nested call) it falls back inline.
+  Matrix nested;
+  pool.Submit([&] { nested = m.Gram(&pool); });
+  pool.Wait();
+  EXPECT_EQ(Matrix::MaxAbsDiff(serial, nested), 0.0);
 }
 
 TEST(MatrixTest, AddDiagonal) {

@@ -163,9 +163,11 @@ int CmdAlign(const Flags& flags) {
     std::cerr << spec.status() << "\n";
     return 2;
   }
-  // Feature extraction / kernel threads, same knob as the benches. A
-  // non-numeric value parses to 0 and runs serially; absurd values are
-  // clamped so a typo cannot spawn a thread storm.
+  // Fold-parallel / feature-extraction / kernel threads, same knob as the
+  // benches: the sweep dispatches whole folds onto this pool and each fold
+  // task runs its kernels inline. A non-numeric value parses to 0 and runs
+  // serially; absurd values are clamped so a typo cannot spawn a thread
+  // storm. Results are identical at any thread count.
   size_t threads = 4;
   const char* threads_env = std::getenv("ACTIVEITER_THREADS");
   if (threads_env != nullptr && *threads_env != '\0') {

@@ -14,6 +14,7 @@
 #include "src/datagen/presets.h"
 #include "src/learn/ridge.h"
 #include "src/linalg/sparse_ops.h"
+#include "src/metadiagram/delta_features.h"
 #include "src/metadiagram/features.h"
 
 namespace activeiter {
@@ -150,6 +151,86 @@ BENCHMARK(BM_RidgePrepareOnce)
     ->Arg(2048)
     ->Arg(8192)
     ->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+// One candidate row arriving online at |H| existing rows. The
+// refactor-per-delta engine redoes the O(|H|·d²) Gram product and the
+// O(d³) factorisation; the rank-1 path folds the row into the cached Gram
+// and factor with two O(d²) sweeps. Args are {rows, refactor}; the
+// refactor = 0 rows carry the online path, so the tracked JSON holds the
+// speedup directly (the acceptance bar is ≥5× at |H| = 8192).
+void BM_RankOneUpdateVsRefactor(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const bool refactor = state.range(1) != 0;
+  Matrix x = RidgeBenchDesign(rows, 30);
+  Matrix new_row = RidgeBenchDesign(1, 30);
+  RidgePrepared prepared = RidgePrepared::Create(x);
+  auto solver = prepared.SolverFor(1.0);
+  for (auto _ : state) {
+    if (refactor) {
+      RidgePrepared rebuilt = RidgePrepared::Create(x);
+      auto refactored = rebuilt.SolverFor(1.0);
+      benchmark::DoNotOptimize(refactored);
+    } else {
+      prepared.UpdateGram(new_row);
+      benchmark::DoNotOptimize(solver.value().AbsorbAppendedRows(new_row));
+    }
+  }
+}
+BENCHMARK(BM_RankOneUpdateVsRefactor)
+    ->ArgNames({"rows", "refactor"})
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// One "new user follows an old user" delta per iteration, served either by
+// the delta-aware engine (migrate clean intermediates, recompute only
+// follow-reachable products) or by a full from-scratch extraction. Both
+// modes apply the same delta stream, so they walk identical graph states.
+void BM_DeltaFeatureVsFullRebuild(benchmark::State& state) {
+  const bool full_rebuild = state.range(0) != 0;
+  GeneratorConfig cfg = TinyPreset(9);
+  cfg.shared_users = 60;
+  auto pair = AlignedNetworkGenerator(cfg).Generate();
+  if (!pair.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  std::vector<AnchorLink> train(pair.value().anchors().begin(),
+                                pair.value().anchors().begin() + 6);
+  CandidateLinkSet candidates;
+  Rng rng(10);
+  for (size_t k = 0; k < 500; ++k) {
+    candidates.Add(static_cast<NodeId>(rng.UniformInt(cfg.shared_users)),
+                   static_cast<NodeId>(rng.UniformInt(cfg.shared_users)));
+  }
+  DeltaFeatureExtractor delta_extractor(pair.value(), train);
+  delta_extractor.Extract(candidates);  // epoch 0 outside the loop
+  for (auto _ : state) {
+    PairDelta delta;
+    delta.first.edges.push_back(
+        {RelationType::kFollow,
+         static_cast<NodeId>(rng.UniformInt(cfg.shared_users)),
+         static_cast<NodeId>(rng.UniformInt(cfg.shared_users))});
+    if (!pair.value().ApplyDelta(delta).ok()) {
+      state.SkipWithError("delta failed");
+      return;
+    }
+    if (full_rebuild) {
+      FeatureExtractor extractor(pair.value(), train);
+      benchmark::DoNotOptimize(extractor.Extract(candidates));
+    } else {
+      delta_extractor.NoteDelta(delta);
+      benchmark::DoNotOptimize(delta_extractor.Extract(candidates));
+    }
+  }
+}
+BENCHMARK(BM_DeltaFeatureVsFullRebuild)
+    ->ArgNames({"full_rebuild"})
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 struct SelectionFixture {

@@ -9,11 +9,68 @@ Result<AlignmentSession> AlignmentSession::Create(const Matrix& x,
     return Status::InvalidArgument(
         "incidence index size must match feature rows");
   }
-  RidgePrepared prepared = RidgePrepared::Create(x, pool);
-  auto solver = prepared.SolverFor(c);
+  auto prepared =
+      std::make_shared<RidgePrepared>(RidgePrepared::Create(x, pool));
+  auto solver = prepared->SolverFor(c);
   if (!solver.ok()) return solver.status();
   return AlignmentSession(&x, &index, std::move(prepared),
-                          std::move(solver).value());
+                          std::move(solver).value(), /*exclusive=*/true);
+}
+
+Result<AlignmentSession> AlignmentSession::CreateFromPrepared(
+    std::shared_ptr<RidgePrepared> prepared, const IncidenceIndex& index,
+    double c) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("prepared state must be non-null");
+  }
+  if (index.candidate_count() != prepared->x().rows()) {
+    return Status::InvalidArgument(
+        "incidence index size must match feature rows");
+  }
+  auto solver = prepared->SolverFor(c);
+  if (!solver.ok()) return solver.status();
+  const Matrix* x = &prepared->x();
+  return AlignmentSession(x, &index, std::move(prepared),
+                          std::move(solver).value(), /*exclusive=*/false);
+}
+
+Status AlignmentSession::AbsorbAppendedRows(size_t first_new_row) {
+  if (!exclusive_) {
+    return Status::FailedPrecondition(
+        "cannot grow a session whose prepared state is shared");
+  }
+  if (first_new_row > x_->rows() || first_new_row != pinned_.size()) {
+    return Status::InvalidArgument(
+        "appended-row range does not extend the session");
+  }
+  if (index_->candidate_count() != x_->rows()) {
+    return Status::FailedPrecondition(
+        "sync the incidence index before absorbing appended rows");
+  }
+  const size_t count = x_->rows() - first_new_row;
+  Matrix new_rows(count, x_->cols());
+  for (size_t r = 0; r < count; ++r) {
+    const double* src = x_->row_data(first_new_row + r);
+    for (size_t j = 0; j < x_->cols(); ++j) new_rows(r, j) = src[j];
+  }
+  prepared_->UpdateGram(new_rows);
+  ACTIVEITER_RETURN_IF_ERROR(solver_.AbsorbAppendedRows(new_rows));
+  pinned_.resize(x_->rows(), Pin::kFree);
+  return Status::OK();
+}
+
+Status AlignmentSession::AbsorbReplacedRow(size_t row,
+                                           const Vector& old_row) {
+  if (!exclusive_) {
+    return Status::FailedPrecondition(
+        "cannot mutate a session whose prepared state is shared");
+  }
+  if (row >= x_->rows()) {
+    return Status::InvalidArgument("replaced row out of range");
+  }
+  Vector new_row = x_->Row(row);
+  prepared_->UpdateGramForReplacedRow(old_row, new_row);
+  return solver_.AbsorbReplacedRow(old_row, new_row);
 }
 
 void AlignmentSession::ResetPins(std::vector<Pin> pinned) {

@@ -19,6 +19,7 @@
 #ifndef ACTIVEITER_ALIGN_SESSION_H_
 #define ACTIVEITER_ALIGN_SESSION_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/align/greedy_selection.h"
@@ -37,10 +38,19 @@ class AlignmentSession {
  public:
   /// Builds the session: one Gram product (pool-parallel when `pool` is
   /// given) and one Cholesky factorisation of I + cXᵀX. Pins start kFree.
+  /// The prepared state is exclusively owned, so the session may grow.
   static Result<AlignmentSession> Create(const Matrix& x,
                                          const IncidenceIndex& index,
                                          double c,
                                          ThreadPool* pool = nullptr);
+
+  /// Derives a session from an existing prepared Gram: one Cholesky
+  /// factorisation, zero passes over X. Sessions sharing a prepared state
+  /// (e.g. a fold's sessions that differ only in c) may not grow — the
+  /// Gram is shared.
+  static Result<AlignmentSession> CreateFromPrepared(
+      std::shared_ptr<RidgePrepared> prepared, const IncidenceIndex& index,
+      double c);
 
   // --- problem-invariant state ---
   const Matrix& x() const { return *x_; }
@@ -49,7 +59,12 @@ class AlignmentSession {
   /// The factored ridge system (shared by every round).
   const RidgeSolver& solver() const { return solver_; }
   /// The factor-once Gram state (derive solvers for other c from it).
-  const RidgePrepared& prepared() const { return prepared_; }
+  const RidgePrepared& prepared() const { return *prepared_; }
+  /// The shareable prepared state (pass to CreateFromPrepared to derive a
+  /// sibling session with a different c from the same Gram).
+  const std::shared_ptr<RidgePrepared>& shared_prepared() const {
+    return prepared_;
+  }
   /// |H|: number of candidate links.
   size_t size() const { return x_->rows(); }
 
@@ -60,19 +75,37 @@ class AlignmentSession {
   /// Pins one link (query answers during the active loop).
   void SetPin(size_t link_id, Pin pin);
 
+  // --- online growth (sessions with an exclusively owned prepared state;
+  //     the streaming-ingest path) ---
+
+  /// Absorbs candidate rows [first_new_row, x().rows()) appended to the
+  /// (caller-owned) design matrix after the index was synced to match:
+  /// folds them into the Gram, rank-1 updates the factor (one O(d²)
+  /// update per row — zero refactorisations), appends kFree pins.
+  Status AbsorbAppendedRows(size_t first_new_row);
+
+  /// Absorbs an in-place overwrite of design row `row` (the caller passes
+  /// the values the row held before the overwrite): replaces its Gram
+  /// contribution and applies a rank-1 update/downdate pair. The pin is
+  /// untouched — only the features changed, not the label state.
+  Status AbsorbReplacedRow(size_t row, const Vector& old_row);
+
  private:
   AlignmentSession(const Matrix* x, const IncidenceIndex* index,
-                   RidgePrepared prepared, RidgeSolver solver)
+                   std::shared_ptr<RidgePrepared> prepared,
+                   RidgeSolver solver, bool exclusive)
       : x_(x),
         index_(index),
         prepared_(std::move(prepared)),
         solver_(std::move(solver)),
+        exclusive_(exclusive),
         pinned_(x->rows(), Pin::kFree) {}
 
   const Matrix* x_;
   const IncidenceIndex* index_;
-  RidgePrepared prepared_;
+  std::shared_ptr<RidgePrepared> prepared_;  // shared across same-Gram peers
   RidgeSolver solver_;
+  bool exclusive_;  // true iff prepared_ is this session's alone (may grow)
   std::vector<Pin> pinned_;
 };
 

@@ -99,8 +99,12 @@ Result<AlignmentSession*> FoldRunner::SessionFor(FeatureSet set,
       return entry.session.get();
     }
   }
-  const Matrix& x = FeaturesFor(set, include_word_path);
-  auto session = AlignmentSession::Create(x, index_, c, pool_);
+  auto& prepared = prepared_[set_slot][word_slot];
+  if (prepared == nullptr) {
+    prepared = std::make_shared<RidgePrepared>(
+        RidgePrepared::Create(FeaturesFor(set, include_word_path), pool_));
+  }
+  auto session = AlignmentSession::CreateFromPrepared(prepared, index_, c);
   if (!session.ok()) return session.status();
   sessions_.push_back(
       {set_slot, word_slot, c,

@@ -32,6 +32,53 @@ Status AlignedPair::AddAnchor(NodeId u1, NodeId u2) {
   return Status::OK();
 }
 
+Status AlignedPair::ApplyDelta(const PairDelta& delta) {
+  // Validate the anchors against the post-growth user universes and the
+  // one-to-one constraint (including duplicates within the batch) before
+  // either network mutates; HeteroNetwork::ApplyDelta is itself atomic, so
+  // validating anchors first makes the whole batch all-or-nothing.
+  const size_t users_first = first_.NodeCount(NodeType::kUser) +
+                             delta.first.NodeGrowth(NodeType::kUser);
+  const size_t users_second = second_.NodeCount(NodeType::kUser) +
+                              delta.second.NodeGrowth(NodeType::kUser);
+  const std::vector<AnchorLink>& batch = delta.new_anchors;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const AnchorLink& a = batch[i];
+    if (a.u1 >= users_first || a.u2 >= users_second) {
+      return Status::OutOfRange(
+          StrFormat("delta anchor (%u, %u) out of user range", a.u1, a.u2));
+    }
+    if ((a.u1 < partner_of_first_.size() && partner_of_first_[a.u1] != -1) ||
+        (a.u2 < partner_of_second_.size() &&
+         partner_of_second_[a.u2] != -1)) {
+      return Status::FailedPrecondition(StrFormat(
+          "delta anchor (%u, %u) violates the one-to-one constraint", a.u1,
+          a.u2));
+    }
+    // Intra-batch duplicates: batches are small, a quadratic scan is fine.
+    for (size_t j = 0; j < i; ++j) {
+      if (batch[j].u1 == a.u1 || batch[j].u2 == a.u2) {
+        return Status::FailedPrecondition(StrFormat(
+            "delta anchors (%u, %u) and (%u, %u) share a user", batch[j].u1,
+            batch[j].u2, a.u1, a.u2));
+      }
+    }
+  }
+  // Validate the second side before the (self-validating) first apply so a
+  // bad second delta cannot leave the first network mutated.
+  ACTIVEITER_RETURN_IF_ERROR(second_.ValidateDelta(delta.second));
+  ACTIVEITER_RETURN_IF_ERROR(first_.ApplyDelta(delta.first));
+  ACTIVEITER_RETURN_IF_ERROR(second_.ApplyDelta(delta.second));
+  partner_of_first_.resize(users_first, -1);
+  partner_of_second_.resize(users_second, -1);
+  for (const AnchorLink& a : delta.new_anchors) {
+    partner_of_first_[a.u1] = a.u2;
+    partner_of_second_[a.u2] = a.u1;
+    anchors_.push_back(a);
+  }
+  return Status::OK();
+}
+
 bool AlignedPair::IsAnchor(NodeId u1, NodeId u2) const {
   return u1 < partner_of_first_.size() &&
          partner_of_first_[u1] == static_cast<int64_t>(u2);

@@ -27,6 +27,20 @@ struct AnchorLink {
   }
 };
 
+/// One growth batch for an aligned pair: per-side node/edge deltas plus
+/// the ground-truth anchors revealed with them (new shared users arriving
+/// online bring their true partner links for the oracle and evaluation;
+/// the model never sees them unless queried or pinned).
+struct PairDelta {
+  GraphDelta first;
+  GraphDelta second;
+  std::vector<AnchorLink> new_anchors;
+
+  bool empty() const {
+    return first.empty() && second.empty() && new_anchors.empty();
+  }
+};
+
 /// Two aligned networks plus anchor ground truth.
 class AlignedPair {
  public:
@@ -38,6 +52,11 @@ class AlignedPair {
   /// Adds a ground-truth anchor link. Enforces the one-to-one constraint
   /// and id ranges; violations return FailedPrecondition/OutOfRange.
   Status AddAnchor(NodeId u1, NodeId u2);
+
+  /// Applies one growth batch atomically: both side deltas and every new
+  /// anchor are validated (ranges, one-to-one, intra-batch duplicates)
+  /// before anything mutates; an invalid batch leaves the pair untouched.
+  Status ApplyDelta(const PairDelta& delta);
 
   const std::vector<AnchorLink>& anchors() const { return anchors_; }
   size_t anchor_count() const { return anchors_.size(); }

@@ -1,9 +1,30 @@
 #include "src/graph/hetero_network.h"
 
+#include <algorithm>
+
 #include "src/common/string_util.h"
 #include "src/linalg/sparse_ops.h"
 
 namespace activeiter {
+
+std::vector<RelationType> GraphDelta::TouchedRelations() const {
+  std::vector<RelationType> out;
+  for (const EdgeDelta& e : edges) {
+    if (std::find(out.begin(), out.end(), e.relation) == out.end()) {
+      out.push_back(e.relation);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t GraphDelta::NodeGrowth(NodeType type) const {
+  size_t total = 0;
+  for (const NodeDelta& n : nodes) {
+    if (n.type == type) total += n.count;
+  }
+  return total;
+}
 
 HeteroNetwork::HeteroNetwork(NetworkSchema schema, std::string name)
     : schema_(std::move(schema)), name_(std::move(name)) {}
@@ -33,6 +54,44 @@ Status HeteroNetwork::AddEdge(RelationType relation, NodeId src, NodeId dst) {
         RelationTypeName(relation), src_count, dst_count));
   }
   edges_[static_cast<size_t>(relation)].emplace_back(src, dst);
+  return Status::OK();
+}
+
+Status HeteroNetwork::ValidateDelta(const GraphDelta& delta) const {
+  std::array<size_t, kNumNodeTypes> counts = node_counts_;
+  for (const NodeDelta& n : delta.nodes) {
+    if (!schema_.HasNodeType(n.type)) {
+      return Status::InvalidArgument(
+          StrFormat("node type %s not in schema", NodeTypeName(n.type)));
+    }
+    counts[static_cast<size_t>(n.type)] += n.count;
+  }
+  for (const EdgeDelta& e : delta.edges) {
+    if (!schema_.HasRelation(e.relation)) {
+      return Status::InvalidArgument(StrFormat(
+          "relation %s not in schema", RelationTypeName(e.relation)));
+    }
+    size_t src_count = counts[static_cast<size_t>(
+        RelationSourceType(e.relation))];
+    size_t dst_count = counts[static_cast<size_t>(
+        RelationTargetType(e.relation))];
+    if (e.src >= src_count || e.dst >= dst_count) {
+      return Status::OutOfRange(StrFormat(
+          "delta edge (%u -> %u) out of range for relation %s (%zu x %zu)",
+          e.src, e.dst, RelationTypeName(e.relation), src_count, dst_count));
+    }
+  }
+  return Status::OK();
+}
+
+Status HeteroNetwork::ApplyDelta(const GraphDelta& delta) {
+  ACTIVEITER_RETURN_IF_ERROR(ValidateDelta(delta));
+  for (const NodeDelta& n : delta.nodes) {
+    node_counts_[static_cast<size_t>(n.type)] += n.count;
+  }
+  for (const EdgeDelta& e : delta.edges) {
+    edges_[static_cast<size_t>(e.relation)].emplace_back(e.src, e.dst);
+  }
   return Status::OK();
 }
 

@@ -20,6 +20,39 @@
 
 namespace activeiter {
 
+/// One batch of node growth: `count` new nodes of `type` appended to that
+/// type's contiguous id space.
+struct NodeDelta {
+  NodeType type = NodeType::kUser;
+  size_t count = 0;
+};
+
+/// One new typed edge. Endpoint ids may reference nodes added by the same
+/// delta batch (they are validated against the post-growth id ranges).
+struct EdgeDelta {
+  RelationType relation = RelationType::kFollow;
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+/// One batch of growth for a single network: nodes first, then edges.
+/// This is the unit the online ingestor consumes — "new users/links
+/// arriving online" as a value the serving layer can queue, validate and
+/// apply atomically.
+struct GraphDelta {
+  std::vector<NodeDelta> nodes;
+  std::vector<EdgeDelta> edges;
+
+  bool empty() const { return nodes.empty() && edges.empty(); }
+
+  /// Relations with at least one new edge (sorted, deduplicated) — the
+  /// dirty set the delta-aware feature engine invalidates by.
+  std::vector<RelationType> TouchedRelations() const;
+
+  /// Total new nodes of `type` in this delta.
+  size_t NodeGrowth(NodeType type) const;
+};
+
 /// One heterogeneous network: typed node counts + typed edge lists.
 class HeteroNetwork {
  public:
@@ -41,6 +74,14 @@ class HeteroNetwork {
   /// must be in range (checked). Duplicate edges are allowed at insertion
   /// and deduplicated when building adjacency matrices.
   Status AddEdge(RelationType relation, NodeId src, NodeId dst);
+
+  /// Checks a growth batch without applying it: every edge is validated
+  /// against the id ranges *after* the batch's node growth.
+  Status ValidateDelta(const GraphDelta& delta) const;
+
+  /// Applies one growth batch atomically (ValidateDelta first, mutate
+  /// only on success), so a bad delta leaves the network untouched.
+  Status ApplyDelta(const GraphDelta& delta);
 
   /// Number of stored edges of `relation` (including duplicates).
   size_t EdgeCount(RelationType relation) const;

@@ -14,6 +14,7 @@ IncidenceIndex::IncidenceIndex(const AlignedPair& pair,
     : candidates_(&candidates),
       users_first_(pair.first().NodeCount(NodeType::kUser)),
       users_second_(pair.second().NodeCount(NodeType::kUser)),
+      indexed_count_(candidates.size()),
       by_first_(users_first_),
       by_second_(users_second_) {
   for (size_t id = 0; id < candidates.size(); ++id) {
@@ -23,6 +24,24 @@ IncidenceIndex::IncidenceIndex(const AlignedPair& pair,
     by_first_[u1].push_back(id);
     by_second_[u2].push_back(id);
   }
+}
+
+void IncidenceIndex::SyncWithCandidates(const AlignedPair& pair) {
+  users_first_ = pair.first().NodeCount(NodeType::kUser);
+  users_second_ = pair.second().NodeCount(NodeType::kUser);
+  ACTIVEITER_CHECK_MSG(
+      users_first_ >= by_first_.size() && users_second_ >= by_second_.size(),
+      "user universes may only grow");
+  by_first_.resize(users_first_);
+  by_second_.resize(users_second_);
+  for (size_t id = indexed_count_; id < candidates_->size(); ++id) {
+    const auto& [u1, u2] = candidates_->link(id);
+    ACTIVEITER_CHECK_MSG(u1 < users_first_ && u2 < users_second_,
+                         "candidate link endpoint out of range");
+    by_first_[u1].push_back(id);
+    by_second_[u2].push_back(id);
+  }
+  indexed_count_ = candidates_->size();
 }
 
 const std::vector<size_t>& IncidenceIndex::LinksOfFirst(NodeId u1) const {

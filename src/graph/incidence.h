@@ -51,6 +51,12 @@ class IncidenceIndex {
   /// Builds the index; user universes sized from the aligned pair.
   IncidenceIndex(const AlignedPair& pair, const CandidateLinkSet& candidates);
 
+  /// Catches the index up with growth: re-sizes the per-user link lists to
+  /// the pair's current user universes and indexes every candidate
+  /// appended to the (borrowed) candidate set since construction or the
+  /// last sync. O(new users + new links); existing lists are untouched.
+  void SyncWithCandidates(const AlignedPair& pair);
+
   /// All candidate link ids incident to user u1 of network 1 / u2 of net 2.
   const std::vector<size_t>& LinksOfFirst(NodeId u1) const;
   const std::vector<size_t>& LinksOfSecond(NodeId u2) const;
@@ -89,6 +95,7 @@ class IncidenceIndex {
   const CandidateLinkSet* candidates_;
   size_t users_first_ = 0;
   size_t users_second_ = 0;
+  size_t indexed_count_ = 0;  // candidates already in the per-user lists
   std::vector<std::vector<size_t>> by_first_;
   std::vector<std::vector<size_t>> by_second_;
 };

@@ -48,6 +48,19 @@ class RidgeSolver {
   /// Scores ŷ = X w for the design matrix this solver was built from.
   Vector Predict(const Vector& w) const;
 
+  /// Folds design rows appended after creation into the cached factor:
+  /// each row r adds c·rᵀr to I + cXᵀX, one O(d²) rank-1 update per row —
+  /// no refactorisation, no pass over X. Call after the rows were appended
+  /// to the design matrix (and UpdateGram was told about them).
+  Status AbsorbAppendedRows(const Matrix& new_rows);
+
+  /// Folds an in-place overwrite of one design row into the factor: one
+  /// rank-1 update for the new values, one downdate for the old. The
+  /// downdate cannot leave the system indefinite mathematically (the
+  /// result is I + c·Σrᵀr over the remaining rows); a failure here means
+  /// numerical breakdown and is surfaced.
+  Status AbsorbReplacedRow(const Vector& old_row, const Vector& new_row);
+
   double c() const { return c_; }
   size_t num_rows() const { return x_->rows(); }
   size_t num_features() const { return x_->cols(); }
@@ -76,6 +89,20 @@ class RidgePrepared {
   /// Derives the per-c solver: factors I + c·XᵀX from the cached Gram.
   /// One Cholesky factorisation, zero passes over X.
   Result<RidgeSolver> SolverFor(double c) const;
+
+  /// Appends `new_rows` to the design matrix and folds them into the
+  /// cached Gram in O(k·d²) — no O(|H|·d²) rebuild. `x` must be the matrix
+  /// this state was created over (checked): the caller owns the design
+  /// matrix mutably, the prepared state only views it.
+  Status AppendRows(Matrix* x, const Matrix& new_rows);
+
+  /// Folds already-appended design rows into the cached Gram:
+  /// G += new_rowsᵀ·new_rows. gram() matches x().Gram() again afterwards.
+  void UpdateGram(const Matrix& new_rows);
+
+  /// Replaces one row's Gram contribution: G += newᵀnew − oldᵀold. Call
+  /// after overwriting the row in the design matrix.
+  void UpdateGramForReplacedRow(const Vector& old_row, const Vector& new_row);
 
   const Matrix& x() const { return *x_; }
   const Matrix& gram() const { return gram_; }

@@ -7,11 +7,16 @@ namespace activeiter {
 namespace {
 
 std::atomic<uint64_t> total_factor_count{0};
+std::atomic<uint64_t> total_rank_one_count{0};
 
 }  // namespace
 
 uint64_t CholeskyFactor::TotalFactorCount() {
   return total_factor_count.load(std::memory_order_relaxed);
+}
+
+uint64_t CholeskyFactor::TotalRankOneUpdateCount() {
+  return total_rank_one_count.load(std::memory_order_relaxed);
 }
 
 Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
@@ -69,6 +74,44 @@ Matrix CholeskyFactor::SolveMatrix(const Matrix& b) const {
     for (size_t i = 0; i < b.rows(); ++i) out(i, j) = sol(i);
   }
   return out;
+}
+
+Status CholeskyFactor::RankOneUpdate(const Vector& v, double sigma) {
+  const size_t n = dim();
+  if (v.size() != n) {
+    return Status::InvalidArgument("rank-1 update vector size mismatch");
+  }
+  if (sigma == 0.0) return Status::OK();
+  const double sign = sigma > 0.0 ? 1.0 : -1.0;
+  const double scale = std::sqrt(std::abs(sigma));
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = scale * v(i);
+  // Column-by-column Givens-style sweep (the cholupdate recurrence): each
+  // column k absorbs w(k) into the new diagonal r and rotates the residual
+  // w so the remaining submatrix sees the remaining rank-1 piece. Work on a
+  // copy so a failed downdate leaves the factor intact.
+  Matrix l = l_;
+  for (size_t k = 0; k < n; ++k) {
+    const double lkk = l(k, k);
+    const double wk = w[k];
+    const double r2 = lkk * lkk + sign * wk * wk;
+    if (r2 <= 0.0 || !std::isfinite(r2)) {
+      return Status::InvalidArgument(
+          "rank-1 downdate would make the matrix indefinite");
+    }
+    const double r = std::sqrt(r2);
+    const double c = r / lkk;
+    const double s = wk / lkk;
+    l(k, k) = r;
+    for (size_t i = k + 1; i < n; ++i) {
+      const double lik = l(i, k);
+      l(i, k) = (lik + sign * s * w[i]) / c;
+      w[i] = (w[i] - s * lik) / c;
+    }
+  }
+  l_ = std::move(l);
+  total_rank_one_count.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 double CholeskyFactor::LogDet() const {

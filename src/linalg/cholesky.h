@@ -33,10 +33,24 @@ class CholeskyFactor {
   /// log(det(A)) = 2·Σ log L_ii; used by tests as a factorisation probe.
   double LogDet() const;
 
+  /// Rank-1 update of the factorisation in place: after the call this
+  /// factors A + sigma·v·vᵀ (update for sigma > 0, downdate for sigma < 0).
+  /// O(dim²) — the online-ingest alternative to an O(dim³) refactorisation
+  /// when a design-matrix row arrives (sigma = c) or is replaced (an
+  /// update/downdate pair). Fails with InvalidArgument on a dimension
+  /// mismatch or when a downdate would leave the matrix indefinite; the
+  /// factor is untouched on failure.
+  Status RankOneUpdate(const Vector& v, double sigma = 1.0);
+
   /// Process-wide count of successful factorisations (relaxed atomic).
   /// Tests diff this around a code path to pin down exactly how many
   /// factorisations it performed (the AlignmentSession reuse guarantee).
+  /// RankOneUpdate does NOT count — the online-serving test proves its
+  /// zero-refactorisation claim by diffing this around the ingest loop.
   static uint64_t TotalFactorCount();
+
+  /// Process-wide count of successful rank-1 updates (relaxed atomic).
+  static uint64_t TotalRankOneUpdateCount();
 
   size_t dim() const { return l_.rows(); }
 

@@ -21,6 +21,21 @@ Vector Matrix::Row(size_t i) const {
   return out;
 }
 
+void Matrix::AppendRow(const Vector& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  ACTIVEITER_CHECK_MSG(row.size() == cols_, "AppendRow width mismatch");
+  data_.insert(data_.end(), row.data(), row.data() + cols_);
+  ++rows_;
+}
+
+void Matrix::AppendRows(const Matrix& rows) {
+  if (rows.rows_ == 0) return;
+  if (rows_ == 0 && cols_ == 0) cols_ = rows.cols_;
+  ACTIVEITER_CHECK_MSG(rows.cols_ == cols_, "AppendRows width mismatch");
+  data_.insert(data_.end(), rows.data_.begin(), rows.data_.end());
+  rows_ += rows.rows_;
+}
+
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
   for (size_t i = 0; i < rows_; ++i) {

@@ -169,6 +169,16 @@ bool SparseMatrix::Equals(const SparseMatrix& other, double tolerance) const {
   return true;
 }
 
+SparseMatrix SparseMatrix::PaddedTo(size_t rows, size_t cols) const {
+  ACTIVEITER_CHECK_MSG(rows >= rows_ && cols >= cols_,
+                       "PaddedTo only grows a matrix");
+  SparseMatrix out = *this;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.resize(rows + 1, col_idx_.size());
+  return out;
+}
+
 SparseBuilder::SparseBuilder(size_t rows, size_t cols)
     : rows_(rows), cols_(cols) {}
 

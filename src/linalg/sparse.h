@@ -116,6 +116,13 @@ class SparseMatrix {
   /// Structural equality of shape and stored (index, value) data.
   bool Equals(const SparseMatrix& other, double tolerance = 0.0) const;
 
+  /// Copy with the shape grown to rows×cols (each must be >= the current
+  /// dimension; checked); new rows and columns are empty, stored entries
+  /// are untouched. O(rows + nnz). The delta-aware feature engine pads
+  /// cached count matrices with this when node universes grow, instead of
+  /// recomputing the products they came from.
+  SparseMatrix PaddedTo(size_t rows, size_t cols) const;
+
  private:
   friend class SparseBuilder;
 

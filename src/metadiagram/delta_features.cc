@@ -1,0 +1,186 @@
+#include "src/metadiagram/delta_features.h"
+
+#include <algorithm>
+
+#include "src/common/thread_pool.h"
+
+namespace activeiter {
+
+DeltaFeatureExtractor::DeltaFeatureExtractor(
+    const AlignedPair& pair, std::vector<AnchorLink> train_anchors,
+    FeatureExtractorOptions options)
+    : pair_(&pair),
+      train_anchors_(std::move(train_anchors)),
+      options_(options),
+      catalog_(StandardDiagramCatalog(options.feature_set,
+                                      options.include_word_path)) {
+  names_.reserve(catalog_.size());
+  for (const auto& d : catalog_) names_.push_back(d.id());
+  for (const auto& d : catalog_) IndexShapes(d.root());
+}
+
+void DeltaFeatureExtractor::IndexShapes(const ExprPtr& node) {
+  const std::string& sig = node->signature();
+  if (node->kind() == DiagramNode::Kind::kStep) {
+    step_sigs_.insert(sig);
+  }
+  shape_of_sig_.emplace(
+      sig, Shape{node->source_type(), node->source_side(),
+                 node->target_type(), node->target_side()});
+  if (node->kind() == DiagramNode::Kind::kChain) {
+    // The evaluator stores every chain *prefix* under
+    // ChainSignature(child sigs 0..i); its shape spans child 0's source to
+    // child i's target.
+    std::vector<std::string> sigs;
+    const auto& children = node->children();
+    sigs.push_back(children.front()->signature());
+    for (size_t i = 1; i < children.size(); ++i) {
+      sigs.push_back(children[i]->signature());
+      shape_of_sig_.emplace(
+          ChainSignature(sigs),
+          Shape{children.front()->source_type(),
+                children.front()->source_side(), children[i]->target_type(),
+                children[i]->target_side()});
+    }
+  }
+  for (const auto& child : node->children()) IndexShapes(child);
+}
+
+size_t DeltaFeatureExtractor::UniverseOf(NodeType type,
+                                         NetworkSide side) const {
+  const HeteroNetwork& net =
+      side == NetworkSide::kFirst ? pair_->first() : pair_->second();
+  return net.NodeCount(type);
+}
+
+void DeltaFeatureExtractor::NoteDelta(const PairDelta& delta) {
+  const GraphDelta* sides[2] = {&delta.first, &delta.second};
+  for (int s = 0; s < 2; ++s) {
+    NetworkSide side = s == 0 ? NetworkSide::kFirst : NetworkSide::kSecond;
+    for (RelationType rel : sides[s]->TouchedRelations()) {
+      dirty_tokens_.insert(StepRef::Rel(side, rel, true).Token());
+      dirty_tokens_.insert(StepRef::Rel(side, rel, false).Token());
+    }
+  }
+  // Node growth (and the anchor matrices, whose user dimensions track it)
+  // needs a context rebuild even when no cached product is dirtied.
+  if (!delta.empty()) pending_refresh_ = true;
+}
+
+std::vector<size_t> DeltaFeatureExtractor::Refresh() {
+  if (!pending()) return {};
+  ++stats_.refreshes;
+
+  auto new_ctx = std::make_unique<RelationContext>(*pair_, train_anchors_,
+                                                   options_.pool);
+  auto new_cache = std::make_unique<ProductPlanCache>();
+  if (cache_ != nullptr) {
+    // Migrate survivors: drop step aliases (the new context re-serves
+    // them) and anything reachable from a dirty relation; pad the rest to
+    // the grown universes. Padding is exact — new nodes have no edges, so
+    // the padded product equals the recomputed one.
+    cache_->ForEach([&](const std::string& sig,
+                        const std::shared_ptr<const SparseMatrix>& m) {
+      if (step_sigs_.count(sig) != 0) return;
+      for (const std::string& token : dirty_tokens_) {
+        if (sig.find(token) != std::string::npos) {
+          ++stats_.intermediates_dropped;
+          return;
+        }
+      }
+      auto it = shape_of_sig_.find(sig);
+      if (it == shape_of_sig_.end()) {
+        ++stats_.intermediates_dropped;
+        return;
+      }
+      const Shape& shape = it->second;
+      new_cache->Store(sig,
+                       std::make_shared<SparseMatrix>(m->PaddedTo(
+                           UniverseOf(shape.src_type, shape.src_side),
+                           UniverseOf(shape.dst_type, shape.dst_side))));
+      ++stats_.intermediates_migrated;
+    });
+  }
+  ctx_ = std::move(new_ctx);
+  cache_ = std::move(new_cache);
+  dirty_tokens_.clear();
+  pending_refresh_ = false;
+
+  std::vector<size_t> dirty_columns;
+  std::vector<bool> is_dirty(catalog_.size(), false);
+  for (size_t k = 0; k < catalog_.size(); ++k) {
+    if (cache_->Peek(catalog_[k].Signature()) == nullptr) {
+      dirty_columns.push_back(k);
+      is_dirty[k] = true;
+      ++stats_.diagrams_recomputed;
+    } else {
+      ++stats_.diagrams_reused;
+    }
+  }
+
+  EvaluatorOptions eval_options;
+  eval_options.pool = options_.pool;
+  eval_options.shared_cache = cache_.get();
+  DiagramEvaluator evaluator(ctx_.get(), eval_options);
+  // Seed the shared prefixes serially before fanning out, exactly as
+  // FeatureExtractor::EnsureScores does (clean chains are O(1) hits).
+  for (const auto& d : catalog_) {
+    if (d.root()->kind() == DiagramNode::Kind::kChain) evaluator.Evaluate(d);
+  }
+  // Only the dirty diagrams re-run their DAGs and rebuild their proximity
+  // tables; clean ones carry last epoch's table over, padded to the grown
+  // universes (values unchanged — new users have no instances).
+  const size_t users_first = UniverseOf(NodeType::kUser, NetworkSide::kFirst);
+  const size_t users_second =
+      UniverseOf(NodeType::kUser, NetworkSide::kSecond);
+  std::vector<std::shared_ptr<const ProximityScores>> computed(
+      catalog_.size());
+  for (size_t k = 0; k < catalog_.size(); ++k) {
+    if (is_dirty[k] || scores_.empty() || scores_[k] == nullptr) continue;
+    computed[k] = std::make_shared<ProximityScores>(
+        scores_[k]->PaddedTo(users_first, users_second));
+  }
+  ThreadPool::ParallelFor(options_.pool, dirty_columns.size(), [&](size_t i) {
+    const size_t k = dirty_columns[i];
+    auto counts = evaluator.Evaluate(catalog_[k]);
+    computed[k] = std::make_shared<ProximityScores>(*counts);
+  });
+  scores_ = std::move(computed);
+  initialised_ = true;
+  return dirty_columns;
+}
+
+Matrix DeltaFeatureExtractor::Extract(const CandidateLinkSet& candidates) {
+  Refresh();
+  const size_t d = catalog_.size();
+  Matrix x(candidates.size(), d + 1);
+  for (size_t k = 0; k < d; ++k) {
+    Vector col = scores_[k]->ScoresFor(candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) x(i, k) = col(i);
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) x(i, d) = 1.0;  // bias
+  return x;
+}
+
+Vector DeltaFeatureExtractor::Column(size_t k,
+                                     const CandidateLinkSet& candidates)
+    const {
+  ACTIVEITER_CHECK_MSG(initialised_ && !pending_refresh_,
+                       "Refresh() must run before Column()");
+  ACTIVEITER_CHECK(k <= catalog_.size());
+  if (k == catalog_.size()) return Vector::Ones(candidates.size());
+  return scores_[k]->ScoresFor(candidates);
+}
+
+Vector DeltaFeatureExtractor::RowFor(NodeId u1, NodeId u2) const {
+  ACTIVEITER_CHECK_MSG(initialised_ && !pending_refresh_,
+                       "Refresh() must run before RowFor()");
+  Vector row(catalog_.size() + 1);
+  for (size_t k = 0; k < catalog_.size(); ++k) {
+    row(k) = scores_[k]->Score(u1, u2);
+  }
+  row(catalog_.size()) = 1.0;
+  return row;
+}
+
+}  // namespace activeiter

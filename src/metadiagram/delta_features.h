@@ -1,0 +1,136 @@
+// Delta-aware meta-diagram feature extraction.
+//
+// FeatureExtractor (features.h) computes the full catalog from scratch —
+// the right tool when the networks are frozen per fold. The online serving
+// path instead sees a *stream* of graph deltas: new users, new edges, new
+// candidate pairs. Recomputing every SpGEMM chain per batch would dwarf
+// the cost of the deltas themselves, so this extractor keeps the product
+// DAG alive across epochs:
+//
+//   * every intermediate count matrix survives in a persistent
+//     ProductPlanCache, keyed by the same canonical expression signatures
+//     the evaluator uses;
+//   * a delta dirties exactly the step tokens of its touched relations
+//     ("1:follow>", "2:checkin<", ...); a cached intermediate is dropped
+//     iff its signature mentions a dirty token, padded to the grown node
+//     universes otherwise (new nodes have no edges yet, so padding with
+//     empty rows/columns IS the recomputed product);
+//   * a diagram whose root signature survives migration is served without
+//     touching a single kernel; dirty diagrams re-evaluate and hit the
+//     migrated cache for every clean sub-chain (the PR 1 reuse discipline
+//     extended across time).
+//
+// Extract() is bitwise-identical to a fresh FeatureExtractor over the
+// current pair: padding adds empty rows, and every recomputed product sees
+// exactly the inputs a from-scratch evaluation would.
+//
+// The anchor bridge is the *fixed* labeled set L+ — ground-truth anchors
+// revealed by a delta are oracle/evaluation data, not model input — so
+// anchor matrices are rebuilt (cheap) but never dirty the cache.
+
+#ifndef ACTIVEITER_METADIAGRAM_DELTA_FEATURES_H_
+#define ACTIVEITER_METADIAGRAM_DELTA_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/aligned_pair.h"
+#include "src/metadiagram/features.h"
+#include "src/metadiagram/product_plan.h"
+#include "src/metadiagram/relation_matrices.h"
+
+namespace activeiter {
+
+/// Feature extraction that survives graph deltas.
+class DeltaFeatureExtractor {
+ public:
+  /// Cumulative reuse accounting across Refresh() epochs.
+  struct RefreshStats {
+    size_t refreshes = 0;               // Refresh calls with pending work
+    size_t diagrams_recomputed = 0;     // columns whose DAG re-ran
+    size_t diagrams_reused = 0;         // columns served from migration
+    size_t intermediates_dropped = 0;   // cache entries lost to dirty tokens
+    size_t intermediates_migrated = 0;  // cache entries padded and kept
+  };
+
+  /// `pair` must outlive the extractor and is observed through every
+  /// mutation the caller applies; `train_anchors` is the fixed bridge L+.
+  DeltaFeatureExtractor(const AlignedPair& pair,
+                        std::vector<AnchorLink> train_anchors,
+                        FeatureExtractorOptions options = {});
+
+  /// Feature names in column order (bias excluded).
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  /// Number of feature columns including the trailing bias column.
+  size_t dimension() const { return catalog_.size() + 1; }
+
+  /// Marks the relations touched by `delta` dirty. Call after
+  /// pair.ApplyDelta(delta); cheap — all recomputation happens in
+  /// Refresh().
+  void NoteDelta(const PairDelta& delta);
+
+  /// Brings the engine up to date with every NoteDelta() since the last
+  /// call: rebuilds the relation context, migrates the plan cache
+  /// (pad-or-drop), re-evaluates dirty diagrams, refreshes proximity
+  /// tables. Returns the dirty feature column indices, ascending (empty
+  /// when nothing was pending; all columns on the first call).
+  std::vector<size_t> Refresh();
+
+  /// |H| × dimension() feature matrix over the current graph state
+  /// (bitwise-identical to a fresh FeatureExtractor). Runs Refresh()
+  /// implicitly when deltas are pending.
+  Matrix Extract(const CandidateLinkSet& candidates);
+
+  /// Column k for the given candidates (k == catalog size → bias ones).
+  /// Refresh() must be up to date.
+  Vector Column(size_t k, const CandidateLinkSet& candidates) const;
+
+  /// One feature row (bias included) for a single pair.
+  Vector RowFor(NodeId u1, NodeId u2) const;
+
+  const RefreshStats& stats() const { return stats_; }
+
+  /// Reuse accounting of the live plan cache (resets at each migration).
+  ProductPlanCache::Stats cache_stats() const { return cache_->stats(); }
+
+ private:
+  struct Shape {
+    NodeType src_type;
+    NetworkSide src_side;
+    NodeType dst_type;
+    NetworkSide dst_side;
+  };
+
+  void IndexShapes(const ExprPtr& node);
+  size_t UniverseOf(NodeType type, NetworkSide side) const;
+  bool pending() const { return !initialised_ || pending_refresh_; }
+
+  const AlignedPair* pair_;
+  std::vector<AnchorLink> train_anchors_;
+  FeatureExtractorOptions options_;
+  std::vector<MetaDiagram> catalog_;
+  std::vector<std::string> names_;
+
+  // Signature → endpoint shape for every catalog sub-expression and chain
+  // prefix (everything the evaluator can ever store); step signatures are
+  // tracked separately because their cache entries alias the context.
+  std::unordered_map<std::string, Shape> shape_of_sig_;
+  std::unordered_set<std::string> step_sigs_;
+
+  std::unique_ptr<RelationContext> ctx_;
+  std::unique_ptr<ProductPlanCache> cache_;
+  std::vector<std::shared_ptr<const ProximityScores>> scores_;
+
+  bool initialised_ = false;
+  bool pending_refresh_ = false;
+  std::unordered_set<std::string> dirty_tokens_;
+  RefreshStats stats_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_METADIAGRAM_DELTA_FEATURES_H_

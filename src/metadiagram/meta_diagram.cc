@@ -171,7 +171,10 @@ std::string TransposedSignature(const DiagramNode& node) {
 
 DiagramEvaluator::DiagramEvaluator(const RelationContext* ctx,
                                    EvaluatorOptions options)
-    : ctx_(ctx), options_(options) {
+    : ctx_(ctx),
+      options_(options),
+      cache_(options.shared_cache != nullptr ? options.shared_cache
+                                             : &owned_cache_) {
   ACTIVEITER_CHECK(ctx != nullptr);
 }
 
@@ -196,15 +199,15 @@ std::shared_ptr<const SparseMatrix> DiagramEvaluator::EvaluateChain(
       tsigs.push_back(TransposedSignature(*children[i]));
     }
     if (options_.share_chain_prefixes) {
-      if (auto hit = cache_.Lookup(prefix_sig)) {
+      if (auto hit = cache_->Lookup(prefix_sig)) {
         cur = hit;
         continue;
       }
       if (options_.share_transposes) {
         std::vector<std::string> rev(tsigs.rbegin(), tsigs.rend());
-        if (auto reverse_hit = cache_.Peek(ChainSignature(rev))) {
-          cache_.CountTransposeHit();
-          cur = cache_.Store(prefix_sig, std::make_shared<SparseMatrix>(
+        if (auto reverse_hit = cache_->Peek(ChainSignature(rev))) {
+          cache_->CountTransposeHit();
+          cur = cache_->Store(prefix_sig, std::make_shared<SparseMatrix>(
                                              Transpose(*reverse_hit,
                                                        options_.pool)));
           continue;
@@ -212,11 +215,11 @@ std::shared_ptr<const SparseMatrix> DiagramEvaluator::EvaluateChain(
       }
     }
     auto rhs = Evaluate(children[i]);
-    cache_.CountProduct();
+    cache_->CountProduct();
     auto product =
         std::make_shared<SparseMatrix>(SpGemm(*cur, *rhs, options_.pool));
     cur = options_.share_chain_prefixes
-              ? cache_.Store(prefix_sig, std::move(product))
+              ? cache_->Store(prefix_sig, std::move(product))
               : std::shared_ptr<const SparseMatrix>(std::move(product));
   }
   return cur;
@@ -226,14 +229,14 @@ std::shared_ptr<const SparseMatrix> DiagramEvaluator::Evaluate(
     const ExprPtr& node) {
   ACTIVEITER_CHECK(node != nullptr);
   const std::string& sig = node->signature();
-  if (auto hit = cache_.Lookup(sig)) return hit;
+  if (auto hit = cache_->Lookup(sig)) return hit;
   // Step matrices (both directions) are precomputed in the RelationContext,
   // so transposing a cached twin would only add work there.
   if (options_.share_transposes &&
       node->kind() != DiagramNode::Kind::kStep) {
-    if (auto reverse_hit = cache_.Peek(TransposedSignature(*node))) {
-      cache_.CountTransposeHit();
-      return cache_.Store(sig, std::make_shared<SparseMatrix>(Transpose(
+    if (auto reverse_hit = cache_->Peek(TransposedSignature(*node))) {
+      cache_->CountTransposeHit();
+      return cache_->Store(sig, std::make_shared<SparseMatrix>(Transpose(
                                    *reverse_hit, options_.pool)));
     }
   }
@@ -256,17 +259,17 @@ std::shared_ptr<const SparseMatrix> DiagramEvaluator::Evaluate(
       // fold the first product directly rather than copying child 0.
       auto first = Evaluate(node->children()[0]);
       auto second = Evaluate(node->children()[1]);
-      cache_.CountProduct();
+      cache_->CountProduct();
       SparseMatrix m = Hadamard(*first, *second, options_.pool);
       for (size_t i = 2; i < node->children().size(); ++i) {
-        cache_.CountProduct();
+        cache_->CountProduct();
         m = Hadamard(m, *Evaluate(node->children()[i]), options_.pool);
       }
       result = std::make_shared<SparseMatrix>(std::move(m));
       break;
     }
   }
-  return cache_.Store(sig, std::move(result));
+  return cache_->Store(sig, std::move(result));
 }
 
 }  // namespace activeiter

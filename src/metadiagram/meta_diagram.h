@@ -135,6 +135,12 @@ std::string TransposedSignature(const DiagramNode& node);
 struct EvaluatorOptions {
   /// Pool for the sparse kernels; nullptr = serial.
   ThreadPool* pool = nullptr;
+  /// When set, intermediates are stored in this externally owned cache
+  /// instead of an evaluator-private one. The delta-aware feature engine
+  /// keeps one cache alive across graph epochs (seeded with the surviving
+  /// intermediates) and hands it to a fresh evaluator per epoch. Must
+  /// outlive the evaluator.
+  ProductPlanCache* shared_cache = nullptr;
   /// Cache every chain prefix product, not only whole sub-expressions.
   bool share_chain_prefixes = true;
   /// Serve a chain whose reversal is cached with a single transpose.
@@ -156,6 +162,11 @@ class DiagramEvaluator {
   explicit DiagramEvaluator(const RelationContext* ctx,
                             EvaluatorOptions options = {});
 
+  // cache_ may point at the evaluator's own owned_cache_, so a default
+  // copy/move would leave it dangling or aliasing the source.
+  DiagramEvaluator(const DiagramEvaluator&) = delete;
+  DiagramEvaluator& operator=(const DiagramEvaluator&) = delete;
+
   /// Count matrix of the expression (memoised). The returned pointer may
   /// alias storage owned by the RelationContext (step matrices are not
   /// copied), so it is valid only while `ctx` lives — do not retain it
@@ -168,17 +179,18 @@ class DiagramEvaluator {
   }
 
   /// Number of distinct intermediates materialised so far (cache size).
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const { return cache_->size(); }
 
   /// Reuse accounting of the underlying plan cache.
-  ProductPlanCache::Stats cache_stats() const { return cache_.stats(); }
+  ProductPlanCache::Stats cache_stats() const { return cache_->stats(); }
 
  private:
   std::shared_ptr<const SparseMatrix> EvaluateChain(const DiagramNode& node);
 
   const RelationContext* ctx_;
   EvaluatorOptions options_;
-  ProductPlanCache cache_;
+  ProductPlanCache owned_cache_;
+  ProductPlanCache* cache_;  // owned_cache_ or options_.shared_cache
 };
 
 }  // namespace activeiter

@@ -39,6 +39,14 @@ void ProductPlanCache::CountProduct() {
   ++stats_.products;
 }
 
+void ProductPlanCache::ForEach(
+    const std::function<void(const std::string&,
+                             const std::shared_ptr<const SparseMatrix>&)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [sig, matrix] : cache_) fn(sig, matrix);
+}
+
 size_t ProductPlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();

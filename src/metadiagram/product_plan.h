@@ -19,6 +19,7 @@
 #ifndef ACTIVEITER_METADIAGRAM_PRODUCT_PLAN_H_
 #define ACTIVEITER_METADIAGRAM_PRODUCT_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +54,14 @@ class ProductPlanCache {
 
   void CountTransposeHit();
   void CountProduct();
+
+  /// Visits every cached (signature, matrix) entry under the cache lock.
+  /// `fn` must not call back into the cache. The delta-aware feature
+  /// engine migrates surviving intermediates across epochs with this; it
+  /// runs on the single ingest thread, never concurrently with evaluation.
+  void ForEach(const std::function<
+               void(const std::string&,
+                    const std::shared_ptr<const SparseMatrix>&)>& fn) const;
 
   size_t size() const;
   Stats stats() const;

@@ -7,6 +7,16 @@ ProximityScores::ProximityScores(SparseMatrix counts)
       row_sums_(counts_.RowSums()),
       col_sums_(counts_.ColSums()) {}
 
+ProximityScores ProximityScores::PaddedTo(size_t rows, size_t cols) const {
+  ProximityScores out;
+  out.counts_ = counts_.PaddedTo(rows, cols);
+  out.row_sums_ = row_sums_;
+  out.row_sums_.Resize(rows);
+  out.col_sums_ = col_sums_;
+  out.col_sums_.Resize(cols);
+  return out;
+}
+
 double ProximityScores::Score(NodeId u1, NodeId u2) const {
   double numer = 2.0 * counts_.At(u1, u2);
   if (numer == 0.0) return 0.0;

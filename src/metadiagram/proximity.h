@@ -28,9 +28,17 @@ class ProximityScores {
   /// Proximity for each candidate link, in candidate order.
   Vector ScoresFor(const CandidateLinkSet& candidates) const;
 
+  /// Copy padded to grown user universes (new users have no instances, so
+  /// every existing score is unchanged and new pairs score 0). O(nnz)
+  /// copy, no re-summation — the delta-aware engine carries clean
+  /// diagrams across epochs with this instead of rebuilding their tables.
+  ProximityScores PaddedTo(size_t rows, size_t cols) const;
+
   const SparseMatrix& counts() const { return counts_; }
 
  private:
+  ProximityScores() = default;
+
   SparseMatrix counts_;
   Vector row_sums_;
   Vector col_sums_;

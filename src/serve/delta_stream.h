@@ -1,0 +1,70 @@
+// CarveDeltaStream: turns a fully generated aligned pair into an online
+// workload.
+//
+// The datagen presets produce a *finished* pair; the serving subsystem
+// needs the same data as a time series — an initial network plus batches
+// of "new users arrived, with their edges, true partners and candidate
+// pairs". The carver replays the pair in reveal waves:
+//
+//   * anchored user pairs are revealed jointly (a shared user joins both
+//     networks at once), shuffled, with `initial_fraction` of them in wave
+//     0 and the rest spread across `num_batches` waves; non-anchored users
+//     are spread the same way per side;
+//   * node ids are renumbered in reveal order, so every wave's AddNodes
+//     growth is contiguous — exactly what HeteroNetwork::ApplyDelta
+//     appends. Posts are revealed with their writer; the shared attribute
+//     universes are all present from wave 0;
+//   * an edge is revealed in the wave of its latest endpoint; a
+//     ground-truth anchor in the wave of its users;
+//   * candidates = every anchor (positives) + `np_ratio` sampled
+//     non-anchor pairs per positive, each revealed in the wave of its
+//     latest endpoint;
+//   * L+ (the fixed labeled bridge) is a `train_fraction` sample of the
+//     wave-0 anchors.
+//
+// Applying every batch in order reconstructs the full pair up to the id
+// permutation (same node counts, same multiset of edges per relation,
+// same anchor set).
+
+#ifndef ACTIVEITER_SERVE_DELTA_STREAM_H_
+#define ACTIVEITER_SERVE_DELTA_STREAM_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+#include "src/graph/incidence.h"
+#include "src/serve/ingestor.h"
+
+namespace activeiter {
+
+/// Carving knobs.
+struct DeltaStreamOptions {
+  size_t num_batches = 4;         // growth waves after the initial state
+  double initial_fraction = 0.5;  // of anchored pairs revealed at wave 0
+  double np_ratio = 5.0;          // negative candidates per positive
+  double train_fraction = 0.3;    // of wave-0 anchors labeled as L+
+  uint64_t seed = 99;
+
+  Status Validate() const;
+};
+
+/// One carved workload.
+struct DeltaStream {
+  AlignedPair initial;                    // wave-0 networks + anchors
+  std::vector<AnchorLink> train_anchors;  // L+ ⊂ wave-0 anchors
+  CandidateLinkSet initial_candidates;    // wave-0 candidate pairs
+  std::vector<ServeDelta> batches;        // waves 1..num_batches
+
+  /// Total candidate rows across all batches (the streamed volume).
+  size_t StreamedCandidateCount() const;
+};
+
+/// Carves `full` into an initial state plus `options.num_batches` growth
+/// batches. Deterministic in (full, options).
+Result<DeltaStream> CarveDeltaStream(const AlignedPair& full,
+                                     const DeltaStreamOptions& options);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_DELTA_STREAM_H_

@@ -1,0 +1,244 @@
+#include "src/serve/ingestor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/linalg/cholesky.h"
+
+namespace activeiter {
+
+DeltaIngestor::DeltaIngestor(AlignedPair pair,
+                             std::vector<AnchorLink> train_anchors,
+                             CandidateLinkSet candidates,
+                             AlignmentService* service, ServeOptions options)
+    : pair_(std::move(pair)),
+      train_anchors_(std::move(train_anchors)),
+      candidates_(std::move(candidates)),
+      service_(service),
+      options_(options),
+      extractor_(pair_, train_anchors_, options.features),
+      aligner_([&options] {
+        IterAlignerOptions base;
+        base.c = options.ridge_c;
+        base.threshold = options.threshold;
+        base.selection = options.selection;
+        return base;
+      }()) {
+  ACTIVEITER_CHECK(service != nullptr);
+}
+
+DeltaIngestor::~DeltaIngestor() { Stop(); }
+
+Status DeltaIngestor::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
+  x_ = extractor_.Extract(candidates_);
+  index_ = std::make_unique<IncidenceIndex>(pair_, candidates_);
+  auto session = AlignmentSession::Create(x_, *index_, options_.ridge_c,
+                                          options_.features.pool);
+  if (!session.ok()) return session.status();
+  session_ =
+      std::make_unique<AlignmentSession>(std::move(session).value());
+  // Pin the labeled positives L+: candidates that ARE a train anchor.
+  std::unordered_set<uint64_t> labeled;
+  labeled.reserve(train_anchors_.size() * 2);
+  for (const AnchorLink& a : train_anchors_) {
+    labeled.insert((static_cast<uint64_t>(a.u1) << 32) | a.u2);
+  }
+  for (size_t id = 0; id < candidates_.size(); ++id) {
+    const auto& [u1, u2] = candidates_.link(id);
+    if (labeled.count((static_cast<uint64_t>(u1) << 32) | u2) != 0) {
+      session_->SetPin(id, Pin::kPositive);
+    }
+  }
+  started_ = true;
+  Status published = PublishCurrent();
+  if (!published.ok()) return published;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.full_factorisations +=
+        CholeskyFactor::TotalFactorCount() - factors_before;
+  }
+  return Status::OK();
+}
+
+Status DeltaIngestor::PublishCurrent() {
+  auto result = aligner_.Align(*session_);
+  if (!result.ok()) return result.status();
+  AlignmentResult& r = result.value();
+  auto snap = std::make_shared<const ModelSnapshot>(
+      BuildSnapshot(epoch_, *index_, std::move(r.scores), std::move(r.y),
+                    std::move(r.w)));
+  service_->Publish(std::move(snap));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.epochs_published;
+  }
+  return Status::OK();
+}
+
+Status DeltaIngestor::ApplyLocked(const ServeDelta& delta) {
+  if (!started_) return Status::FailedPrecondition("Start() first");
+  const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
+  const uint64_t rank1_before = CholeskyFactor::TotalRankOneUpdateCount();
+
+  // Candidate endpoints get the same validate-before-mutate treatment as
+  // the graph batch: a malformed delta must surface as a Status, not kill
+  // the server halfway through an epoch.
+  const size_t users_first = pair_.first().NodeCount(NodeType::kUser) +
+                             delta.graph.first.NodeGrowth(NodeType::kUser);
+  const size_t users_second = pair_.second().NodeCount(NodeType::kUser) +
+                              delta.graph.second.NodeGrowth(NodeType::kUser);
+  for (const auto& [u1, u2] : delta.new_candidates) {
+    if (u1 >= users_first || u2 >= users_second) {
+      return Status::OutOfRange(
+          "delta candidate endpoint outside the post-growth user universe");
+    }
+  }
+
+  ACTIVEITER_RETURN_IF_ERROR(pair_.ApplyDelta(delta.graph));
+  extractor_.NoteDelta(delta.graph);
+  const std::vector<size_t> dirty_columns = extractor_.Refresh();
+
+  // Existing candidates whose dirty feature columns actually moved:
+  // overwrite the row in place and absorb it as a rank-1 replace.
+  size_t replaced = 0;
+  const size_t old_count = candidates_.size();
+  if (!dirty_columns.empty() && old_count > 0) {
+    std::vector<Vector> fresh;
+    fresh.reserve(dirty_columns.size());
+    for (size_t k : dirty_columns) {
+      fresh.push_back(extractor_.Column(k, candidates_));
+    }
+    for (size_t i = 0; i < old_count; ++i) {
+      bool changed = false;
+      for (size_t j = 0; j < dirty_columns.size(); ++j) {
+        if (fresh[j](i) != x_(i, dirty_columns[j])) {
+          changed = true;
+          break;
+        }
+      }
+      if (!changed) continue;
+      Vector old_row = x_.Row(i);
+      for (size_t j = 0; j < dirty_columns.size(); ++j) {
+        x_(i, dirty_columns[j]) = fresh[j](i);
+      }
+      ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbReplacedRow(i, old_row));
+      ++replaced;
+    }
+  }
+
+  // New candidates: feature rows straight from the proximity tables.
+  Matrix new_rows(delta.new_candidates.size(), extractor_.dimension());
+  for (size_t r = 0; r < delta.new_candidates.size(); ++r) {
+    const auto& [u1, u2] = delta.new_candidates[r];
+    candidates_.Add(u1, u2);
+    Vector row = extractor_.RowFor(u1, u2);
+    for (size_t j = 0; j < row.size(); ++j) new_rows(r, j) = row(j);
+  }
+  index_->SyncWithCandidates(pair_);
+  x_.AppendRows(new_rows);
+  ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbAppendedRows(old_count));
+
+  ++epoch_;
+  ACTIVEITER_RETURN_IF_ERROR(PublishCurrent());
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deltas_applied;
+    stats_.rows_appended += delta.new_candidates.size();
+    stats_.rows_replaced += replaced;
+    stats_.rank_one_updates +=
+        CholeskyFactor::TotalRankOneUpdateCount() - rank1_before;
+    stats_.full_factorisations +=
+        CholeskyFactor::TotalFactorCount() - factors_before;
+  }
+  return Status::OK();
+}
+
+Status DeltaIngestor::ApplyOnce(const ServeDelta& delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ACTIVEITER_CHECK_MSG(!thread_running_,
+                         "ApplyOnce may not race the background thread");
+  }
+  return ApplyLocked(delta);
+}
+
+void DeltaIngestor::StartBackground() {
+  ACTIVEITER_CHECK_MSG(started_, "Start() before StartBackground()");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_running_) return;
+  stopping_ = false;
+  thread_running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void DeltaIngestor::Submit(ServeDelta delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(delta));
+  }
+  cv_.notify_one();
+}
+
+void DeltaIngestor::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || !thread_running_;
+  });
+}
+
+void DeltaIngestor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+  idle_cv_.notify_all();
+}
+
+Status DeltaIngestor::background_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_status_;
+}
+
+void DeltaIngestor::WorkerLoop() {
+  for (;;) {
+    ServeDelta delta;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      delta = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      if (!background_status_.ok()) {
+        // Sticky error: discard the batch, keep draining the queue.
+        --in_flight_;
+        if (queue_.empty()) idle_cv_.notify_all();
+        continue;
+      }
+    }
+    Status applied = ApplyLocked(delta);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!applied.ok() && background_status_.ok()) {
+        background_status_ = applied;
+      }
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+IngestStats DeltaIngestor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace activeiter

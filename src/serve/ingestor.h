@@ -1,0 +1,170 @@
+// DeltaIngestor: the single-writer side of the online subsystem.
+//
+// Owns every piece of mutable serving state — the aligned pair, the
+// candidate set, the incidence index, the delta-aware feature engine, the
+// growing design matrix X and the AlignmentSession — and advances it one
+// ServeDelta batch at a time:
+//
+//   1. pair.ApplyDelta            (atomic graph growth)
+//   2. extractor.NoteDelta/Refresh (only dirty diagrams recompute; clean
+//                                  intermediates migrate via padding)
+//   3. replaced rows              (existing candidates whose dirty feature
+//                                  columns changed: Gram replace + rank-1
+//                                  update/downdate pair per row)
+//   4. appended rows              (new candidates: feature row from the
+//                                  proximity tables, Gram fold-in + one
+//                                  rank-1 update per row)
+//   5. re-run the PU alternation  (IterAligner against the grown session —
+//                                  solves only, the factor is never
+//                                  rebuilt)
+//   6. BuildSnapshot + Publish    (atomic epoch swap in the service)
+//
+// After Start()'s single Prepare, no full factorisation ever runs again —
+// stats().full_factorisations stays 1, proven in the integration tests via
+// CholeskyFactor::TotalFactorCount.
+//
+// Deltas are applied either synchronously (ApplyOnce — deterministic, used
+// by tests and epoch-by-epoch comparisons) or by the background thread
+// (StartBackground + Submit + Flush). The two modes must not be mixed
+// while the thread runs.
+
+#ifndef ACTIVEITER_SERVE_INGESTOR_H_
+#define ACTIVEITER_SERVE_INGESTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/align/iter_aligner.h"
+#include "src/align/session.h"
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+#include "src/graph/incidence.h"
+#include "src/metadiagram/delta_features.h"
+#include "src/serve/service.h"
+
+namespace activeiter {
+
+/// One ingest batch: graph growth plus the candidate pairs that start
+/// being served with it. Candidate endpoints may reference nodes added by
+/// the same batch.
+struct ServeDelta {
+  PairDelta graph;
+  std::vector<std::pair<NodeId, NodeId>> new_candidates;
+
+  bool empty() const { return graph.empty() && new_candidates.empty(); }
+};
+
+/// Knobs of the serving model.
+struct ServeOptions {
+  /// Ridge loss weight and decision threshold of the PU alternation.
+  double ridge_c = 1.0;
+  double threshold = 0.0;
+  SelectionAlgorithm selection = SelectionAlgorithm::kGreedy;
+  /// Feature engine options (catalog choice + kernel pool).
+  FeatureExtractorOptions features;
+};
+
+/// Cumulative ingest accounting (all fields monotone).
+struct IngestStats {
+  uint64_t epochs_published = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t rows_appended = 0;
+  uint64_t rows_replaced = 0;
+  uint64_t rank_one_updates = 0;      // factor updates + downdates
+  uint64_t full_factorisations = 0;   // stays 1 after Start()
+};
+
+/// Owns the live model and feeds an AlignmentService with epochs.
+class DeltaIngestor {
+ public:
+  /// Takes ownership of the initial serving state. `train_anchors` is the
+  /// fixed labeled bridge L+; candidates equal to a train anchor are
+  /// pinned positive, everything else stays unlabeled (the PU setting).
+  /// `service` must outlive the ingestor.
+  DeltaIngestor(AlignedPair pair, std::vector<AnchorLink> train_anchors,
+                CandidateLinkSet candidates, AlignmentService* service,
+                ServeOptions options = {});
+
+  ~DeltaIngestor();
+
+  DeltaIngestor(const DeltaIngestor&) = delete;
+  DeltaIngestor& operator=(const DeltaIngestor&) = delete;
+
+  /// Builds and publishes epoch 0 — the only full feature extraction,
+  /// Gram product and Cholesky factorisation of the ingestor's lifetime.
+  Status Start();
+
+  /// Applies one batch synchronously and publishes the next epoch.
+  Status ApplyOnce(const ServeDelta& delta);
+
+  /// Starts the background ingest thread (after Start()).
+  void StartBackground();
+
+  /// Enqueues a batch for the background thread.
+  void Submit(ServeDelta delta);
+
+  /// Blocks until every submitted batch has been applied and published.
+  void Flush();
+
+  /// Drains the queue and joins the background thread (idempotent).
+  void Stop();
+
+  /// First error hit by the background thread, if any (sticky; batches
+  /// submitted after an error are discarded).
+  Status background_status() const;
+
+  IngestStats stats() const;
+
+  // Read-only views of the live (ingest-side) state — for tests, the CLI
+  // and batch-rebuild comparisons. NOT safe to call while the background
+  // thread is running; query through the AlignmentService instead.
+  const AlignedPair& pair() const { return pair_; }
+  const CandidateLinkSet& candidates() const { return candidates_; }
+  const std::vector<AnchorLink>& train_anchors() const {
+    return train_anchors_;
+  }
+  const Matrix& design() const { return x_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  void WorkerLoop();
+  Status ApplyLocked(const ServeDelta& delta);
+  Status PublishCurrent();
+
+  AlignedPair pair_;
+  std::vector<AnchorLink> train_anchors_;
+  CandidateLinkSet candidates_;
+  AlignmentService* service_;
+  ServeOptions options_;
+
+  DeltaFeatureExtractor extractor_;
+  std::unique_ptr<IncidenceIndex> index_;
+  Matrix x_;
+  std::unique_ptr<AlignmentSession> session_;
+  IterAligner aligner_;
+  uint64_t epoch_ = 0;
+  bool started_ = false;
+
+  IngestStats stats_;
+  mutable std::mutex stats_mu_;
+
+  // Background queue.
+  std::thread worker_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue not empty / stopping
+  std::condition_variable idle_cv_;   // queue drained
+  std::deque<ServeDelta> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  bool thread_running_ = false;
+  Status background_status_ = Status::OK();
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_INGESTOR_H_

@@ -1,0 +1,57 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+
+namespace activeiter {
+
+std::shared_ptr<const ModelSnapshot> AlignmentService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+uint64_t AlignmentService::epoch() const {
+  auto snap = std::atomic_load(&snapshot_);
+  return snap == nullptr ? kNoEpoch : snap->epoch;
+}
+
+void AlignmentService::Publish(std::shared_ptr<const ModelSnapshot> next) {
+  ACTIVEITER_CHECK(next != nullptr);
+  auto current = std::atomic_load(&snapshot_);
+  ACTIVEITER_CHECK_MSG(current == nullptr || next->epoch > current->epoch,
+                       "epochs must be published in increasing order");
+  std::atomic_store(&snapshot_, std::move(next));
+}
+
+Result<std::vector<ScoredLink>> AlignmentService::TopKFor(NodeId u1,
+                                                          size_t k) const {
+  auto snap = std::atomic_load(&snapshot_);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  std::vector<ScoredLink> out;
+  if (u1 >= snap->users_first()) return out;  // unknown as of this epoch
+  for (size_t link_id : snap->links_of_first[u1]) {
+    out.push_back(snap->At(link_id));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredLink& a, const ScoredLink& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.link_id < b.link_id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<ScoredLink> AlignmentService::ScorePair(NodeId u1, NodeId u2) const {
+  auto snap = std::atomic_load(&snapshot_);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  if (u1 < snap->users_first()) {
+    for (size_t link_id : snap->links_of_first[u1]) {
+      if (snap->links[link_id].second == u2) return snap->At(link_id);
+    }
+  }
+  return Status::NotFound("pair is not a candidate in the published epoch");
+}
+
+}  // namespace activeiter

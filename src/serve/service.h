@@ -1,0 +1,62 @@
+// AlignmentService: the thread-safe query front end of the online
+// subsystem.
+//
+// Serving protocol (epoch publication):
+//
+//   readers            service                ingestor
+//   ───────            ───────                ────────
+//   snapshot() ──────▶ atomic_load ptr        build epoch e+1 offline
+//   TopKFor/ScorePair  (no lock, refcount)    Publish(e+1): atomic_store
+//   keep using e ◀──── old epochs stay alive  old ptr freed when last
+//                      as long as referenced  reader drops it
+//
+// Queries therefore never block on ingest, never observe a half-built
+// epoch, and never race the swap: the only shared word is the shared_ptr
+// control block, accessed through std::atomic_load/atomic_store.
+
+#ifndef ACTIVEITER_SERVE_SERVICE_H_
+#define ACTIVEITER_SERVE_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/snapshot.h"
+
+namespace activeiter {
+
+/// Concurrent score/match query API over the latest published snapshot.
+class AlignmentService {
+ public:
+  AlignmentService() = default;
+
+  /// The current snapshot (nullptr before the first Publish). Callers may
+  /// hold the pointer across any number of later publishes.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Epoch of the current snapshot, or kNoEpoch before the first publish.
+  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
+  uint64_t epoch() const;
+
+  /// Atomically swaps in a new epoch. Single-writer (the ingest thread);
+  /// epochs must be published in increasing order (checked).
+  void Publish(std::shared_ptr<const ModelSnapshot> next);
+
+  /// Top-k candidate links of user `u1` of the first network, by score
+  /// descending (ties by link id). Users unknown to the snapshot's epoch
+  /// (e.g. added by an ingest batch that has not published yet) get an
+  /// empty result, not an error — the serving contract is "answers as of
+  /// the published epoch".
+  Result<std::vector<ScoredLink>> TopKFor(NodeId u1, size_t k) const;
+
+  /// The scored view of candidate (u1, u2); NotFound when the pair is not
+  /// a candidate in the published epoch.
+  Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const;
+
+ private:
+  std::shared_ptr<const ModelSnapshot> snapshot_;  // std::atomic_load/store
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_SERVICE_H_

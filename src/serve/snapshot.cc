@@ -1,0 +1,39 @@
+#include "src/serve/snapshot.h"
+
+namespace activeiter {
+
+ScoredLink ModelSnapshot::At(size_t link_id) const {
+  ACTIVEITER_CHECK(link_id < links.size());
+  ScoredLink out;
+  out.link_id = link_id;
+  out.u1 = links[link_id].first;
+  out.u2 = links[link_id].second;
+  out.score = scores(link_id);
+  out.matched = y(link_id) > 0.5;
+  return out;
+}
+
+ModelSnapshot BuildSnapshot(uint64_t epoch, const IncidenceIndex& index,
+                            Vector scores, Vector y, Vector w) {
+  const CandidateLinkSet& candidates = index.candidates();
+  ACTIVEITER_CHECK_MSG(
+      scores.size() == candidates.size() && y.size() == candidates.size(),
+      "snapshot vectors must cover the candidate set");
+  ModelSnapshot snap;
+  snap.epoch = epoch;
+  snap.links = candidates.links();
+  snap.scores = std::move(scores);
+  snap.y = std::move(y);
+  snap.w = std::move(w);
+  snap.links_of_first.reserve(index.users_first());
+  for (NodeId u = 0; u < index.users_first(); ++u) {
+    snap.links_of_first.push_back(index.LinksOfFirst(u));
+  }
+  snap.links_of_second.reserve(index.users_second());
+  for (NodeId u = 0; u < index.users_second(); ++u) {
+    snap.links_of_second.push_back(index.LinksOfSecond(u));
+  }
+  return snap;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,59 @@
+// The immutable unit of the snapshot-swap serving protocol.
+//
+// Query threads and the ingest thread never share mutable state: the
+// ingestor assembles a fully self-contained ModelSnapshot (no pointers
+// into the live session, candidate set or graph), publishes it with one
+// atomic shared_ptr store, and readers that loaded the previous epoch keep
+// using it safely until their last reference drops. See service.h for the
+// swap itself.
+
+#ifndef ACTIVEITER_SERVE_SNAPSHOT_H_
+#define ACTIVEITER_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/incidence.h"
+#include "src/graph/types.h"
+#include "src/linalg/vector.h"
+
+namespace activeiter {
+
+/// One scored candidate link, as returned by the query API.
+struct ScoredLink {
+  size_t link_id = 0;
+  NodeId u1 = 0;
+  NodeId u2 = 0;
+  double score = 0.0;
+  bool matched = false;  // selected positive by the alternation (y = 1)
+};
+
+/// One published model epoch. Immutable after construction; fully owns its
+/// data.
+struct ModelSnapshot {
+  uint64_t epoch = 0;
+  std::vector<std::pair<NodeId, NodeId>> links;  // candidate pairs by id
+  Vector scores;                                 // ŷ = Xw over links
+  Vector y;                                      // inferred {0,1} labels
+  Vector w;                                      // model weights
+  // Per-user candidate link ids (copied from the incidence index).
+  std::vector<std::vector<size_t>> links_of_first;
+  std::vector<std::vector<size_t>> links_of_second;
+
+  size_t size() const { return links.size(); }
+  size_t users_first() const { return links_of_first.size(); }
+  size_t users_second() const { return links_of_second.size(); }
+
+  /// Assembles the scored view of one link id.
+  ScoredLink At(size_t link_id) const;
+};
+
+/// Deep-copies the queryable state of one alignment solution into a
+/// snapshot. `scores`/`y` are indexed by the candidate ids of `index`.
+ModelSnapshot BuildSnapshot(uint64_t epoch, const IncidenceIndex& index,
+                            Vector scores, Vector y, Vector w);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_SNAPSHOT_H_

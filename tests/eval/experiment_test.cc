@@ -4,6 +4,7 @@
 
 #include "src/datagen/aligned_generator.h"
 #include "src/datagen/presets.h"
+#include "src/linalg/cholesky.h"
 
 namespace activeiter {
 namespace {
@@ -126,6 +127,23 @@ TEST_F(ExperimentTest, DeterministicAcrossRunners) {
   ASSERT_TRUE(o2.ok());
   EXPECT_EQ(o1.value().metrics.tp, o2.value().metrics.tp);
   EXPECT_EQ(o1.value().metrics.fp, o2.value().metrics.fp);
+}
+
+TEST_F(ExperimentTest, SessionsWithDifferentCShareOneGram) {
+  FoldRunner runner(*pair_, *fold_, 8);
+  auto a = runner.SessionFor(FeatureSet::kMetaPathAndDiagram, false, 1.0);
+  ASSERT_TRUE(a.ok());
+  const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
+  auto b = runner.SessionFor(FeatureSet::kMetaPathAndDiagram, false, 10.0);
+  ASSERT_TRUE(b.ok());
+  // Same fold + feature set, different c: one new factorisation, zero new
+  // Gram products — both sessions borrow the same prepared state.
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount(), factors_before + 1);
+  EXPECT_EQ(&a.value()->prepared(), &b.value()->prepared());
+  // Same key returns the cached session outright.
+  auto again = runner.SessionFor(FeatureSet::kMetaPathAndDiagram, false, 1.0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(a.value(), again.value());
 }
 
 }  // namespace

@@ -82,5 +82,52 @@ TEST(AlignedPairTest, SharedAttributeValidation) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(AlignedPairDeltaTest, AppliesBothSidesAndAnchors) {
+  AlignedPair pair = MakePair(3, 3);
+  ASSERT_TRUE(pair.AddAnchor(0, 0).ok());
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 2});
+  delta.first.edges.push_back({RelationType::kFollow, 3, 4});
+  delta.second.nodes.push_back({NodeType::kUser, 1});
+  delta.new_anchors.push_back({3, 3});
+  ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+  EXPECT_EQ(pair.first().NodeCount(NodeType::kUser), 5u);
+  EXPECT_EQ(pair.second().NodeCount(NodeType::kUser), 4u);
+  EXPECT_EQ(pair.anchor_count(), 2u);
+  EXPECT_TRUE(pair.IsAnchor(3, 3));
+  NodeId partner = 99;
+  EXPECT_TRUE(pair.PartnerOfSecond(3, &partner));
+  EXPECT_EQ(partner, 3u);
+}
+
+TEST(AlignedPairDeltaTest, InvalidAnchorLeavesEverythingUntouched) {
+  AlignedPair pair = MakePair(3, 3);
+  ASSERT_TRUE(pair.AddAnchor(1, 1).ok());
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 1});
+  delta.new_anchors.push_back({3, 1});  // u2 = 1 already anchored
+  EXPECT_FALSE(pair.ApplyDelta(delta).ok());
+  EXPECT_EQ(pair.first().NodeCount(NodeType::kUser), 3u);
+  EXPECT_EQ(pair.anchor_count(), 1u);
+}
+
+TEST(AlignedPairDeltaTest, DuplicateAnchorsWithinBatchRejected) {
+  AlignedPair pair = MakePair(4, 4);
+  PairDelta delta;
+  delta.new_anchors.push_back({0, 1});
+  delta.new_anchors.push_back({2, 1});  // same u2 twice in one batch
+  EXPECT_FALSE(pair.ApplyDelta(delta).ok());
+  EXPECT_EQ(pair.anchor_count(), 0u);
+}
+
+TEST(AlignedPairDeltaTest, SecondSideFailureLeavesFirstUntouched) {
+  AlignedPair pair = MakePair(3, 3);
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 1});
+  delta.second.edges.push_back({RelationType::kFollow, 0, 9});  // invalid
+  EXPECT_FALSE(pair.ApplyDelta(delta).ok());
+  EXPECT_EQ(pair.first().NodeCount(NodeType::kUser), 3u);
+}
+
 }  // namespace
 }  // namespace activeiter

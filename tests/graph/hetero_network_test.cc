@@ -85,5 +85,48 @@ TEST(HeteroNetworkTest, TotalEdgeCount) {
   EXPECT_EQ(net.TotalEdgeCount(), 3u);
 }
 
+TEST(GraphDeltaTest, TouchedRelationsAndNodeGrowth) {
+  GraphDelta delta;
+  delta.nodes.push_back({NodeType::kUser, 3});
+  delta.nodes.push_back({NodeType::kUser, 2});
+  delta.nodes.push_back({NodeType::kPost, 1});
+  delta.edges.push_back({RelationType::kWrite, 0, 0});
+  delta.edges.push_back({RelationType::kFollow, 0, 1});
+  delta.edges.push_back({RelationType::kWrite, 1, 0});
+  EXPECT_EQ(delta.NodeGrowth(NodeType::kUser), 5u);
+  EXPECT_EQ(delta.NodeGrowth(NodeType::kPost), 1u);
+  std::vector<RelationType> touched = delta.TouchedRelations();
+  ASSERT_EQ(touched.size(), 2u);
+  EXPECT_EQ(touched[0], RelationType::kFollow);
+  EXPECT_EQ(touched[1], RelationType::kWrite);
+}
+
+TEST(HeteroNetworkDeltaTest, AppliesNodesAndEdges) {
+  HeteroNetwork net = SmallNetwork();
+  GraphDelta delta;
+  delta.nodes.push_back({NodeType::kUser, 2});
+  // Edges may reference nodes added by the same batch (ids 3 and 4).
+  delta.edges.push_back({RelationType::kFollow, 3, 4});
+  delta.edges.push_back({RelationType::kFollow, 0, 3});
+  ASSERT_TRUE(net.ApplyDelta(delta).ok());
+  EXPECT_EQ(net.NodeCount(NodeType::kUser), 5u);
+  EXPECT_EQ(net.EdgeCount(RelationType::kFollow), 2u);
+  SparseMatrix adj = net.AdjacencyMatrix(RelationType::kFollow);
+  EXPECT_EQ(adj.rows(), 5u);
+  EXPECT_EQ(adj.At(3, 4), 1.0);
+}
+
+TEST(HeteroNetworkDeltaTest, InvalidDeltaLeavesNetworkUntouched) {
+  HeteroNetwork net = SmallNetwork();
+  GraphDelta delta;
+  delta.nodes.push_back({NodeType::kUser, 1});
+  delta.edges.push_back({RelationType::kFollow, 0, 3});   // valid post-growth
+  delta.edges.push_back({RelationType::kFollow, 0, 99});  // out of range
+  Status st = net.ApplyDelta(delta);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(net.NodeCount(NodeType::kUser), 3u);
+  EXPECT_EQ(net.EdgeCount(RelationType::kFollow), 0u);
+}
+
 }  // namespace
 }  // namespace activeiter

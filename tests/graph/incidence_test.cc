@@ -96,6 +96,38 @@ TEST(IncidenceIndexTest, OneToOneSatisfied) {
   EXPECT_FALSE(index.SatisfiesOneToOne(Vector{1.0, 1.0, 0.0, 0.0, 0.0}));
 }
 
+TEST(IncidenceIndexTest, SyncWithCandidatesIndexesAppendedLinks) {
+  AlignedPair pair = MakePair();
+  CandidateLinkSet c = MakeCandidates();
+  IncidenceIndex index(pair, c);
+  EXPECT_EQ(index.candidate_count(), 5u);
+
+  // Grow the universe and the candidate set, then sync.
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 1});
+  delta.second.nodes.push_back({NodeType::kUser, 1});
+  ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+  size_t id_a = c.Add(3, 3);
+  size_t id_b = c.Add(0, 3);
+  index.SyncWithCandidates(pair);
+
+  EXPECT_EQ(index.candidate_count(), 7u);
+  EXPECT_EQ(index.users_first(), 4u);
+  ASSERT_EQ(index.LinksOfFirst(3).size(), 1u);
+  EXPECT_EQ(index.LinksOfFirst(3)[0], id_a);
+  ASSERT_EQ(index.LinksOfSecond(3).size(), 2u);
+  EXPECT_EQ(index.LinksOfSecond(3)[0], id_a);
+  EXPECT_EQ(index.LinksOfSecond(3)[1], id_b);
+  // Existing lists untouched, new links appended to old users' lists.
+  std::vector<size_t> of_first0 = index.LinksOfFirst(0);
+  ASSERT_EQ(of_first0.size(), 3u);
+  EXPECT_EQ(of_first0[2], id_b);
+  // Conflicts see the grown lists.
+  std::vector<size_t> conflicts = index.ConflictingLinks(id_b);
+  EXPECT_TRUE(std::find(conflicts.begin(), conflicts.end(), id_a) !=
+              conflicts.end());
+}
+
 TEST(IncidenceIndexDeathTest, OutOfRangeEndpointDies) {
   AlignedPair pair = MakePair();
   CandidateLinkSet c;

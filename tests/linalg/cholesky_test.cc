@@ -84,6 +84,118 @@ TEST(CholeskyTest, SolveMatrixColumns) {
   EXPECT_LT(residual.FrobeniusNorm(), 1e-8);
 }
 
+/// Max |x_i − y_i| between two solve results.
+double SolveDiff(const CholeskyFactor& a, const CholeskyFactor& b,
+                 const Vector& rhs) {
+  return (a.Solve(rhs) - b.Solve(rhs)).NormInf();
+}
+
+TEST(CholeskyRankOneTest, UpdateMatchesRefactor) {
+  const size_t n = 12;
+  Matrix a = RandomSpd(n, 7);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  Rng rng(8);
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v(i) = rng.Normal();
+  const double sigma = 2.5;
+
+  ASSERT_TRUE(factor.value().RankOneUpdate(v, sigma).ok());
+  Matrix updated = a;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) updated(i, j) += sigma * v(i) * v(j);
+  }
+  auto refactored = CholeskyFactor::Factor(updated);
+  ASSERT_TRUE(refactored.ok());
+
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  EXPECT_LT(SolveDiff(factor.value(), refactored.value(), rhs), 1e-9);
+  EXPECT_NEAR(factor.value().LogDet(), refactored.value().LogDet(), 1e-9);
+}
+
+TEST(CholeskyRankOneTest, DowndateMatchesRefactor) {
+  const size_t n = 10;
+  Matrix base = RandomSpd(n, 17);
+  Rng rng(18);
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v(i) = rng.Normal(0.0, 0.4);
+  // Downdate A + vvᵀ by vvᵀ: guaranteed to stay SPD (it returns to A).
+  Matrix plus = base;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) plus(i, j) += v(i) * v(j);
+  }
+  auto factor = CholeskyFactor::Factor(plus);
+  ASSERT_TRUE(factor.ok());
+  ASSERT_TRUE(factor.value().RankOneUpdate(v, -1.0).ok());
+  auto refactored = CholeskyFactor::Factor(base);
+  ASSERT_TRUE(refactored.ok());
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  EXPECT_LT(SolveDiff(factor.value(), refactored.value(), rhs), 1e-9);
+}
+
+TEST(CholeskyRankOneTest, UpdateDowndatePairRoundTrips) {
+  const size_t n = 16;
+  Matrix a = RandomSpd(n, 27);
+  auto reference = CholeskyFactor::Factor(a);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  Rng rng(28);
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  // A long replace-row style sequence: +new, −old, many times over.
+  for (int round = 0; round < 50; ++round) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v(i) = rng.Normal();
+    ASSERT_TRUE(factor.value().RankOneUpdate(v, 0.7).ok());
+    ASSERT_TRUE(factor.value().RankOneUpdate(v, -0.7).ok());
+  }
+  EXPECT_LT(SolveDiff(factor.value(), reference.value(), rhs), 1e-8);
+}
+
+TEST(CholeskyRankOneTest, ZeroSigmaIsANoOp) {
+  Matrix a = RandomSpd(4, 37);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const double before = factor.value().LogDet();
+  Vector v{1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(factor.value().RankOneUpdate(v, 0.0).ok());
+  EXPECT_EQ(factor.value().LogDet(), before);
+}
+
+TEST(CholeskyRankOneTest, RejectsDimensionMismatch) {
+  Matrix a = RandomSpd(4, 47);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  Vector v{1.0, 2.0};
+  EXPECT_FALSE(factor.value().RankOneUpdate(v).ok());
+}
+
+TEST(CholeskyRankOneTest, FailedDowndateLeavesFactorIntact) {
+  Matrix a = Matrix::Identity(3);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const double before = factor.value().LogDet();
+  Vector v{10.0, 0.0, 0.0};  // I − 100·e₁e₁ᵀ is indefinite
+  auto st = factor.value().RankOneUpdate(v, -1.0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(factor.value().LogDet(), before);
+}
+
+TEST(CholeskyRankOneTest, DoesNotCountAsFactorisation) {
+  Matrix a = RandomSpd(6, 57);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
+  const uint64_t rank1_before = CholeskyFactor::TotalRankOneUpdateCount();
+  Vector v(6, 0.3);
+  ASSERT_TRUE(factor.value().RankOneUpdate(v).ok());
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount(), factors_before);
+  EXPECT_EQ(CholeskyFactor::TotalRankOneUpdateCount(), rank1_before + 1);
+}
+
 // Property sweep over sizes: residuals stay small.
 class CholeskySizeSweep : public ::testing::TestWithParam<int> {};
 

@@ -147,5 +147,36 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5, 1, 5), std::make_tuple(7, 8, 3),
                       std::make_tuple(12, 12, 12)));
 
+TEST(MatrixAppendTest, AppendRowAndRowsGrowInPlace) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 2.0;
+  m.AppendRow(Vector{3.0, 4.0, 5.0});
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(2, 0), 3.0);
+  EXPECT_EQ(m(2, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 1.0);
+
+  Matrix extra(2, 3);
+  extra(0, 1) = 7.0;
+  extra(1, 0) = 8.0;
+  m.AppendRows(extra);
+  ASSERT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m(3, 1), 7.0);
+  EXPECT_EQ(m(4, 0), 8.0);
+}
+
+TEST(MatrixAppendTest, EmptyMatrixAdoptsWidth) {
+  Matrix m;
+  m.AppendRow(Vector{1.0, 2.0});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(MatrixAppendDeathTest, WidthMismatchDies) {
+  Matrix m(1, 3);
+  EXPECT_DEATH(m.AppendRow(Vector{1.0}), "width");
+}
+
 }  // namespace
 }  // namespace activeiter

@@ -114,5 +114,27 @@ TEST(SparseDeathTest, OutOfBoundsTripletDies) {
   EXPECT_DEATH(SparseMatrix::FromTriplets(1, 1, {{0, 1, 1.0}}), "bounds");
 }
 
+TEST(SparsePadTest, PaddedToGrowsWithEmptyRowsAndCols) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 3.0}, {1, 0, 4.0}});
+  SparseMatrix padded = m.PaddedTo(4, 5);
+  EXPECT_EQ(padded.rows(), 4u);
+  EXPECT_EQ(padded.cols(), 5u);
+  EXPECT_EQ(padded.nnz(), 2u);
+  EXPECT_EQ(padded.At(0, 1), 3.0);
+  EXPECT_EQ(padded.At(1, 0), 4.0);
+  EXPECT_EQ(padded.RowNnz(2), 0u);
+  EXPECT_EQ(padded.RowNnz(3), 0u);
+  // Sums unchanged: new rows/cols are empty.
+  EXPECT_EQ(padded.Sum(), m.Sum());
+  EXPECT_EQ(padded.RowSums()(0), 3.0);
+  EXPECT_EQ(padded.ColSums().size(), 5u);
+}
+
+TEST(SparsePadDeathTest, ShrinkDies) {
+  SparseMatrix m(3, 3);
+  EXPECT_DEATH(m.PaddedTo(2, 3), "grows");
+}
+
 }  // namespace
 }  // namespace activeiter

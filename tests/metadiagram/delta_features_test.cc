@@ -1,0 +1,180 @@
+// DeltaFeatureExtractor invariants: bitwise equality with a from-scratch
+// FeatureExtractor after every delta, and genuine cross-epoch reuse (clean
+// diagrams never recompute; their intermediates migrate via padding).
+
+#include "src/metadiagram/delta_features.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair TinyPair(uint64_t seed = 7) {
+  auto pair = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(pair.ok());
+  return std::move(pair).ValueOrDie();
+}
+
+std::vector<AnchorLink> TrainAnchors(const AlignedPair& pair, size_t count) {
+  return std::vector<AnchorLink>(pair.anchors().begin(),
+                                 pair.anchors().begin() +
+                                     static_cast<ptrdiff_t>(count));
+}
+
+CandidateLinkSet SomeCandidates(const AlignedPair& pair, size_t count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  const size_t u1 = pair.first().NodeCount(NodeType::kUser);
+  const size_t u2 = pair.second().NodeCount(NodeType::kUser);
+  CandidateLinkSet candidates;
+  for (const AnchorLink& a :
+       TrainAnchors(pair, std::min<size_t>(10, pair.anchor_count()))) {
+    candidates.Add(a.u1, a.u2);
+  }
+  while (candidates.size() < count) {
+    candidates.Add(static_cast<NodeId>(rng.UniformInt(u1)),
+                   static_cast<NodeId>(rng.UniformInt(u2)));
+  }
+  return candidates;
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(Matrix::MaxAbsDiff(a, b), 0.0);
+}
+
+TEST(DeltaFeatureTest, InitialExtractionMatchesBatchExtractor) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 40, 3);
+
+  DeltaFeatureExtractor delta_extractor(pair, train);
+  FeatureExtractor batch_extractor(pair, train);
+  ExpectBitwiseEqual(delta_extractor.Extract(candidates),
+                     batch_extractor.Extract(candidates));
+}
+
+TEST(DeltaFeatureTest, DeltaExtractionBitwiseMatchesFullRebuild) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 40, 4);
+
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);  // epoch 0
+
+  // New users on both sides joined by follow edges into the old graph —
+  // the canonical "new shared user arrives" batch. Only the two follow
+  // relations dirty; every pure-attribute diagram must survive untouched.
+  const NodeId old_u1 = 0;
+  const NodeId new_u1 =
+      static_cast<NodeId>(pair.first().NodeCount(NodeType::kUser));
+  const NodeId new_u2 =
+      static_cast<NodeId>(pair.second().NodeCount(NodeType::kUser));
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 1});
+  delta.first.edges.push_back({RelationType::kFollow, new_u1, old_u1});
+  delta.first.edges.push_back({RelationType::kFollow, old_u1, new_u1});
+  delta.second.nodes.push_back({NodeType::kUser, 1});
+  delta.second.edges.push_back({RelationType::kFollow, new_u2, 1});
+  delta.new_anchors.push_back({new_u1, new_u2});
+  ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+  extractor.NoteDelta(delta);
+
+  // Candidates now include pairs built from brand-new users.
+  candidates.Add(new_u1, new_u2);
+  candidates.Add(new_u1, 0);
+  candidates.Add(0, new_u2);
+
+  Matrix streamed = extractor.Extract(candidates);
+  FeatureExtractor batch_extractor(pair, train);
+  ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+
+  // Only follow was touched: the attribute paths, Ψ2 and their shared
+  // intermediates must be served from migration, the follow chains dropped.
+  const DeltaFeatureExtractor::RefreshStats& stats = extractor.stats();
+  EXPECT_EQ(stats.refreshes, 2u);
+  EXPECT_GT(stats.diagrams_reused, 0u);
+  EXPECT_GT(stats.intermediates_migrated, 0u);
+  EXPECT_GT(stats.intermediates_dropped, 0u);
+}
+
+TEST(DeltaFeatureTest, AttributeOnlyDeltaKeepsSocialDiagramsClean) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 30, 5);
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);
+
+  // Only side-1 checkin changes: every pure-social diagram stays clean.
+  PairDelta delta;
+  delta.first.edges.push_back({RelationType::kCheckin, 0, 0});
+  ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+  extractor.NoteDelta(delta);
+  std::vector<size_t> dirty = extractor.Refresh();
+  EXPECT_FALSE(dirty.empty());
+  EXPECT_LT(dirty.size(), extractor.dimension() - 1);
+  // The pure-social paths and fusions (P1..P4, MD[P1xP2], ...) must stay
+  // clean: only diagrams with an attribute segment can see the change.
+  const std::vector<std::string>& names = extractor.feature_names();
+  for (size_t k = 0; k < names.size(); ++k) {
+    if (names[k] == "P1" || names[k] == "P2" || names[k] == "P3" ||
+        names[k] == "P4" || names[k] == "MD[P1xP2]") {
+      EXPECT_TRUE(std::find(dirty.begin(), dirty.end(), k) == dirty.end())
+          << names[k];
+    }
+  }
+
+  Matrix streamed = extractor.Extract(candidates);
+  FeatureExtractor batch_extractor(pair, train);
+  ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+}
+
+TEST(DeltaFeatureTest, NodeOnlyGrowthDirtiesNothing) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 25, 6);
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);
+
+  PairDelta delta;
+  delta.first.nodes.push_back({NodeType::kUser, 3});
+  delta.second.nodes.push_back({NodeType::kUser, 2});
+  ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+  extractor.NoteDelta(delta);
+  std::vector<size_t> dirty = extractor.Refresh();
+  EXPECT_TRUE(dirty.empty());
+  // Only the epoch-0 build ever recomputed anything.
+  EXPECT_EQ(extractor.stats().diagrams_recomputed, extractor.dimension() - 1);
+
+  // Isolated new users score zero against everyone but extraction over
+  // them must be well-formed and match a full rebuild.
+  const NodeId new_u1 =
+      static_cast<NodeId>(pair.first().NodeCount(NodeType::kUser) - 1);
+  candidates.Add(new_u1, 0);
+  Matrix streamed = extractor.Extract(candidates);
+  FeatureExtractor batch_extractor(pair, train);
+  ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+  for (size_t k = 0; k + 1 < extractor.dimension(); ++k) {
+    EXPECT_EQ(streamed(candidates.size() - 1, k), 0.0);
+  }
+}
+
+TEST(DeltaFeatureTest, RefreshWithoutDeltaIsANoOp) {
+  AlignedPair pair = TinyPair();
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 20, 7);
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);
+  EXPECT_TRUE(extractor.Refresh().empty());
+  EXPECT_EQ(extractor.stats().refreshes, 1u);
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -62,5 +62,19 @@ TEST(ProximityTest, ScoresForCandidates) {
   EXPECT_EQ(scores(2), 1.0);
 }
 
+TEST(ProximityTest, PaddedToPreservesScoresAndCoversNewUsers) {
+  auto counts = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 2.0}, {0, 1, 2.0}, {1, 0, 1.0}});
+  ProximityScores prox(counts);
+  ProximityScores padded = prox.PaddedTo(4, 5);
+  EXPECT_EQ(padded.Score(0, 0), prox.Score(0, 0));
+  EXPECT_EQ(padded.Score(1, 0), prox.Score(1, 0));
+  // New users exist and score zero against everyone.
+  EXPECT_EQ(padded.Score(3, 0), 0.0);
+  EXPECT_EQ(padded.Score(0, 4), 0.0);
+  EXPECT_EQ(padded.counts().rows(), 4u);
+  EXPECT_EQ(padded.counts().cols(), 5u);
+}
+
 }  // namespace
 }  // namespace activeiter

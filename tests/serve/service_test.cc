@@ -1,0 +1,119 @@
+// AlignmentService unit tests: snapshot lifecycle, query semantics, epoch
+// ordering.
+
+#include "src/serve/service.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/aligned_pair.h"
+
+namespace activeiter {
+namespace {
+
+AlignedPair MakePair(size_t users1, size_t users2) {
+  HeteroNetwork a(NetworkSchema::SocialNetwork(), "n1");
+  a.AddNodes(NodeType::kUser, users1);
+  HeteroNetwork b(NetworkSchema::SocialNetwork(), "n2");
+  b.AddNodes(NodeType::kUser, users2);
+  return AlignedPair(std::move(a), std::move(b));
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotOf(
+    const AlignedPair& pair, const CandidateLinkSet& candidates,
+    uint64_t epoch, std::vector<double> scores, std::vector<double> labels) {
+  IncidenceIndex index(pair, candidates);
+  Vector s(scores.size());
+  Vector y(labels.size());
+  for (size_t i = 0; i < scores.size(); ++i) s(i) = scores[i];
+  for (size_t i = 0; i < labels.size(); ++i) y(i) = labels[i];
+  return std::make_shared<const ModelSnapshot>(
+      BuildSnapshot(epoch, index, std::move(s), std::move(y), Vector(2)));
+}
+
+TEST(AlignmentServiceTest, EmptyServiceFailsQueries) {
+  AlignmentService service;
+  EXPECT_EQ(service.epoch(), AlignmentService::kNoEpoch);
+  EXPECT_EQ(service.snapshot(), nullptr);
+  EXPECT_FALSE(service.TopKFor(0, 3).ok());
+  EXPECT_FALSE(service.ScorePair(0, 0).ok());
+}
+
+TEST(AlignmentServiceTest, TopKSortsByScoreThenId) {
+  AlignedPair pair = MakePair(3, 4);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);  // 0.4
+  candidates.Add(0, 1);  // 0.9
+  candidates.Add(0, 2);  // 0.9 (tie -> lower link id first)
+  candidates.Add(1, 3);  // other user
+  AlignmentService service;
+  service.Publish(SnapshotOf(pair, candidates, 0, {0.4, 0.9, 0.9, 0.1},
+                             {0.0, 1.0, 0.0, 0.0}));
+  EXPECT_EQ(service.epoch(), 0u);
+
+  auto top = service.TopKFor(0, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].link_id, 1u);
+  EXPECT_TRUE(top.value()[0].matched);
+  EXPECT_EQ(top.value()[1].link_id, 2u);
+  EXPECT_FALSE(top.value()[1].matched);
+
+  // Unknown users (as of this epoch) get empty results, not errors.
+  auto unknown = service.TopKFor(2, 2);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_TRUE(unknown.value().empty());
+  auto out_of_range = service.TopKFor(99, 2);
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_TRUE(out_of_range.value().empty());
+}
+
+TEST(AlignmentServiceTest, ScorePairFindsExactCandidate) {
+  AlignedPair pair = MakePair(2, 2);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 1);
+  candidates.Add(1, 1);
+  AlignmentService service;
+  service.Publish(
+      SnapshotOf(pair, candidates, 3, {0.25, -0.5}, {1.0, 0.0}));
+
+  auto hit = service.ScorePair(0, 1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().score, 0.25);
+  EXPECT_TRUE(hit.value().matched);
+  EXPECT_EQ(service.ScorePair(0, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.ScorePair(9, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AlignmentServiceTest, PublishSwapsAtomicallyAndKeepsOldSnapshotAlive) {
+  AlignedPair pair = MakePair(1, 2);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);
+  AlignmentService service;
+  service.Publish(SnapshotOf(pair, candidates, 0, {0.1}, {0.0}));
+  auto old_snapshot = service.snapshot();
+
+  CandidateLinkSet grown = candidates;
+  grown.Add(0, 1);
+  service.Publish(SnapshotOf(pair, grown, 1, {0.1, 0.7}, {0.0, 1.0}));
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.snapshot()->size(), 2u);
+  // The pre-swap reference still sees its own epoch's world.
+  EXPECT_EQ(old_snapshot->epoch, 0u);
+  EXPECT_EQ(old_snapshot->size(), 1u);
+}
+
+TEST(AlignmentServiceDeathTest, EpochRegressionsDie) {
+  AlignedPair pair = MakePair(1, 1);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);
+  AlignmentService service;
+  service.Publish(SnapshotOf(pair, candidates, 5, {0.1}, {0.0}));
+  EXPECT_DEATH(
+      service.Publish(SnapshotOf(pair, candidates, 5, {0.1}, {0.0})),
+      "increasing");
+}
+
+}  // namespace
+}  // namespace activeiter

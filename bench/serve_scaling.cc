@@ -1,0 +1,86 @@
+// Serve-layer ingest scaling: rows/second absorbed by the sharded
+// ingestor at 1, 2 and 4 shards on an identical carved delta stream.
+//
+// What the shape means: each drain refreshes the shared FeaturePlane once
+// (serial, graph-sized) and then realigns every shard's slice of H. The
+// realign/selection cost is superlinear in |H|, so splitting H across N
+// shards shrinks the summed model work even on a single core; on a
+// multi-core host the per-shard fan-out stacks wall-clock parallelism on
+// top. Flat-or-falling throughput from 1 → 4 shards is a regression.
+//
+// The workload mirrors the BENCH_serve.json record: candidate-heavy
+// (ACTIVEITER_NP_RATIO, default 40) so model work dominates the plane
+// refresh. Honors the usual bench env overrides plus:
+//   ACTIVEITER_NP_RATIO     candidate NP ratio for the carve (default 40)
+//   ACTIVEITER_SERVE_BATCHES growth batches to stream (default 16)
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/serve/delta_stream.h"
+#include "src/serve/shard.h"
+
+int main() {
+  using namespace activeiter;
+  using namespace activeiter::bench;
+  BenchEnv env = ReadEnv();
+  const double np_ratio =
+      static_cast<double>(EnvSize("ACTIVEITER_NP_RATIO", 40));
+  const size_t batches = EnvSize("ACTIVEITER_SERVE_BATCHES", 16);
+  PrintHeader("Serve scaling — sharded ingest throughput vs shard count",
+              env);
+  AlignedPair pair = MakePair(env);
+
+  std::cout << "shards  rows     ingest_ms  rows_per_s  epochs  coalesced\n";
+  double base_rows_per_s = 0.0;
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    // Re-carve per run: ingest consumes the stream's deltas.
+    DeltaStreamOptions carve;
+    carve.num_batches = batches;
+    carve.initial_fraction = 0.5;
+    carve.np_ratio = np_ratio;
+    carve.seed = env.seed ^ 0x5EEDULL;
+    auto stream = CarveDeltaStream(pair, carve);
+    if (!stream.ok()) {
+      std::cerr << "carve failed: " << stream.status() << "\n";
+      return 1;
+    }
+    DeltaStream& s = stream.value();
+
+    IngestorOptions options;
+    options.partition.num_shards = num_shards;
+    ShardedIngestor ingestor(std::move(s.initial), s.train_anchors,
+                             std::move(s.initial_candidates), options);
+    if (Status st = ingestor.Start(); !st.ok()) {
+      std::cerr << "start failed: " << st << "\n";
+      return 1;
+    }
+
+    Stopwatch watch;
+    ingestor.StartBackground();
+    for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
+    ingestor.Flush();
+    const double ingest_ms = watch.ElapsedMillis();
+    ingestor.Stop();
+    if (!ingestor.background_status().ok()) {
+      std::cerr << "ingest failed: " << ingestor.background_status() << "\n";
+      return 1;
+    }
+
+    const IngestStats stats = ingestor.stats();
+    const size_t rows = stats.rows_appended + stats.rows_replaced;
+    const double rows_per_s =
+        ingest_ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ingest_ms
+                        : 0.0;
+    if (num_shards == 1) base_rows_per_s = rows_per_s;
+    std::printf("%-7zu %-8zu %-10.1f %-11.0f %-7zu %zu\n", num_shards, rows,
+                ingest_ms, rows_per_s, stats.epochs_published,
+                stats.coalesced_batches);
+  }
+  std::cout << "# expected shape: rows_per_s non-decreasing in shard count\n"
+            << "#   (superlinear realign split; plus parallel fan-out when\n"
+            << "#   cores allow). 1-shard baseline: " << base_rows_per_s
+            << " rows/s.\n";
+  return 0;
+}

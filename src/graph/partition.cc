@@ -1,0 +1,28 @@
+#include "src/graph/partition.h"
+
+namespace activeiter {
+
+Status ShardPartition::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::vector<CandidateSlice> PartitionCandidates(
+    const CandidateLinkSet& candidates, const ShardPartition& partition) {
+  ACTIVEITER_CHECK(partition.Validate().ok());
+  std::vector<CandidateSlice> slices(partition.num_shards);
+  for (size_t id = 0; id < candidates.size(); ++id) {
+    const auto& [u1, u2] = candidates.link(id);
+    CandidateSlice& slice = slices[partition.ShardOfFirstUser(u1)];
+    slice.links.Add(u1, u2);
+    slice.global_ids.push_back(id);
+  }
+  return slices;
+}
+
+}  // namespace activeiter

@@ -1,0 +1,63 @@
+// User-range partitioning of a candidate link set across serve shards.
+//
+// The sharded serve layer splits the candidate set H so that every shard
+// owns a disjoint slice and ALL candidates of a given first-network user
+// land on the same shard — that is what lets the shard router answer
+// TopKFor(u1) and ScorePair(u1, ·) from one shard. The partition is
+// block-striped over the u1 id space:
+//
+//   shard(u1) = (u1 / block_size) % num_shards
+//
+// i.e. contiguous ranges of `block_size` user ids rotate across shards.
+// Striping (rather than one contiguous range per shard) keeps the slices
+// balanced as the user id space grows online — new users always have the
+// highest ids, and a static range split would funnel every arrival into
+// the last shard.
+
+#ifndef ACTIVEITER_GRAPH_PARTITION_H_
+#define ACTIVEITER_GRAPH_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/incidence.h"
+#include "src/graph/types.h"
+
+namespace activeiter {
+
+/// The shard-assignment function of the serve layer. Pure and stateless:
+/// the same (num_shards, block_size) always maps a user to the same shard,
+/// so routing needs no lookup table and survives restarts.
+struct ShardPartition {
+  size_t num_shards = 1;
+  /// Width of one contiguous u1 range; ranges rotate across shards.
+  size_t block_size = 1;
+
+  Status Validate() const;
+
+  /// The shard owning every candidate whose first endpoint is `u1`.
+  size_t ShardOfFirstUser(NodeId u1) const {
+    return static_cast<size_t>(u1 / block_size) % num_shards;
+  }
+};
+
+/// One shard's slice of a candidate set: the local candidate list plus the
+/// global link id of each local candidate (local id i ↔ global id
+/// global_ids[i]). Global ids are the ids of the unsharded set; they are
+/// what the query API exposes, so results are comparable across shard
+/// counts.
+struct CandidateSlice {
+  CandidateLinkSet links;
+  std::vector<size_t> global_ids;
+};
+
+/// Splits `candidates` into `partition.num_shards` disjoint slices by
+/// first-endpoint user range. Candidates keep their relative order inside
+/// a slice, so per-slice global ids are strictly increasing.
+std::vector<CandidateSlice> PartitionCandidates(
+    const CandidateLinkSet& candidates, const ShardPartition& partition);
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_GRAPH_PARTITION_H_

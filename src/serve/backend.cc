@@ -1,0 +1,9 @@
+#include "src/serve/backend.h"
+
+namespace activeiter {
+
+// Out-of-line virtual destructor anchors the vtable in one translation
+// unit.
+QueryBackend::~QueryBackend() = default;
+
+}  // namespace activeiter

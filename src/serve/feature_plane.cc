@@ -1,0 +1,18 @@
+#include "src/serve/feature_plane.h"
+
+namespace activeiter {
+
+FeaturePlane::FeaturePlane(AlignedPair pair,
+                           std::vector<AnchorLink> train_anchors,
+                           FeatureExtractorOptions options)
+    : pair_(std::move(pair)),
+      train_anchors_(std::move(train_anchors)),
+      extractor_(pair_, train_anchors_, std::move(options)) {}
+
+Status FeaturePlane::Apply(const PairDelta& delta) {
+  ACTIVEITER_RETURN_IF_ERROR(pair_.ApplyDelta(delta));
+  extractor_.NoteDelta(delta);
+  return Status::OK();
+}
+
+}  // namespace activeiter

@@ -1,0 +1,89 @@
+// FeaturePlane: the graph-and-features half of the ingest pipeline.
+//
+// Everything whose cost depends on the WHOLE graph — the aligned pair,
+// the delta-aware feature engine, the SpGEMM product cache — lives here,
+// behind a single-writer surface:
+//
+//   Apply(PairDelta)  — atomic graph growth + dirty-token bookkeeping
+//   Refresh()         — recompute dirty diagrams, migrate clean ones
+//   Extract / Column / RowFor — read the refreshed proximity tables
+//
+// The plane is what makes sharded ingest scale: N ModelShards (see
+// ingestor.h) SHARE one plane, so per-batch graph work and diagram
+// recomputation run once per drain instead of once per shard. After
+// Refresh() the read surface (Column / RowFor / pair) is immutable until
+// the next Apply, so any number of shard threads may consume it
+// concurrently — the proximity tables are plain const data.
+//
+// Writer discipline: exactly one thread calls Apply/Refresh/Extract at a
+// time, and never concurrently with readers. Both DeltaIngestor (its own
+// worker) and ShardedIngestor (the coordinator, between shard fan-outs)
+// uphold this by construction.
+
+#ifndef ACTIVEITER_SERVE_FEATURE_PLANE_H_
+#define ACTIVEITER_SERVE_FEATURE_PLANE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/aligned_pair.h"
+#include "src/graph/incidence.h"
+#include "src/metadiagram/delta_features.h"
+
+namespace activeiter {
+
+/// Owns the aligned pair and the delta-aware feature engine.
+class FeaturePlane {
+ public:
+  /// Takes ownership of the graph state. `train_anchors` is the fixed
+  /// labeled bridge L+ (model input; revealed anchors are oracle data).
+  FeaturePlane(AlignedPair pair, std::vector<AnchorLink> train_anchors,
+               FeatureExtractorOptions options = {});
+
+  // The extractor holds a pointer to pair_; the plane must not move.
+  FeaturePlane(const FeaturePlane&) = delete;
+  FeaturePlane& operator=(const FeaturePlane&) = delete;
+
+  const AlignedPair& pair() const { return pair_; }
+  const std::vector<AnchorLink>& train_anchors() const {
+    return train_anchors_;
+  }
+
+  /// Feature columns including the trailing bias.
+  size_t dimension() const { return extractor_.dimension(); }
+
+  /// Grows the graph atomically (nothing mutates on error) and marks the
+  /// touched relations dirty. Cheap; recomputation waits for Refresh().
+  Status Apply(const PairDelta& delta);
+
+  /// Brings the proximity tables up to date; returns the dirty feature
+  /// column indices, ascending (all columns on the first call).
+  std::vector<size_t> Refresh() { return extractor_.Refresh(); }
+
+  /// Full |H| × dimension() design matrix over `candidates` (runs
+  /// Refresh() implicitly when pending). Writer-side only.
+  Matrix Extract(const CandidateLinkSet& candidates) {
+    return extractor_.Extract(candidates);
+  }
+
+  /// Column k over `candidates` / one feature row. Pure reads of the
+  /// refreshed tables — safe from any number of threads between writes.
+  Vector Column(size_t k, const CandidateLinkSet& candidates) const {
+    return extractor_.Column(k, candidates);
+  }
+  Vector RowFor(NodeId u1, NodeId u2) const {
+    return extractor_.RowFor(u1, u2);
+  }
+
+  const DeltaFeatureExtractor& extractor() const { return extractor_; }
+
+ private:
+  AlignedPair pair_;
+  std::vector<AnchorLink> train_anchors_;
+  DeltaFeatureExtractor extractor_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_FEATURE_PLANE_H_

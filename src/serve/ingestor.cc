@@ -7,42 +7,111 @@
 
 namespace activeiter {
 
-DeltaIngestor::DeltaIngestor(AlignedPair pair,
-                             std::vector<AnchorLink> train_anchors,
-                             CandidateLinkSet candidates,
-                             AlignmentService* service, ServeOptions options)
-    : pair_(std::move(pair)),
-      train_anchors_(std::move(train_anchors)),
-      candidates_(std::move(candidates)),
-      service_(service),
-      options_(options),
-      extractor_(pair_, train_anchors_, options.features),
-      aligner_([&options] {
-        IterAlignerOptions base;
-        base.c = options.ridge_c;
-        base.threshold = options.threshold;
-        base.selection = options.selection;
-        return base;
-      }()) {
-  ACTIVEITER_CHECK(service != nullptr);
+ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas) {
+  ServeDelta merged;
+  if (deltas.empty()) return merged;
+  // Id mode (explicit global ids vs implicit numbering) comes from the
+  // first batch that brings candidates; graph-only batches are neutral.
+  bool with_ids = false;
+  for (const ServeDelta& d : deltas) {
+    if (!d.new_candidates.empty()) {
+      with_ids = !d.candidate_ids.empty();
+      break;
+    }
+  }
+  for (ServeDelta& d : deltas) {
+    ACTIVEITER_CHECK_MSG(
+        d.candidate_ids.empty() ||
+            d.candidate_ids.size() == d.new_candidates.size(),
+        "candidate_ids must be empty or parallel to new_candidates");
+    ACTIVEITER_CHECK_MSG(
+        d.new_candidates.empty() || !d.candidate_ids.empty() == with_ids,
+        "cannot merge batches that mix explicit and implicit link ids");
+    auto append = [](auto& into, auto& from) {
+      into.insert(into.end(), std::make_move_iterator(from.begin()),
+                  std::make_move_iterator(from.end()));
+    };
+    append(merged.graph.first.nodes, d.graph.first.nodes);
+    append(merged.graph.first.edges, d.graph.first.edges);
+    append(merged.graph.second.nodes, d.graph.second.nodes);
+    append(merged.graph.second.edges, d.graph.second.edges);
+    append(merged.graph.new_anchors, d.graph.new_anchors);
+    append(merged.new_candidates, d.new_candidates);
+    append(merged.candidate_ids, d.candidate_ids);
+  }
+  return merged;
 }
 
-DeltaIngestor::~DeltaIngestor() { Stop(); }
+IngestStats& IngestStats::operator+=(const IngestStats& other) {
+  epochs_published += other.epochs_published;
+  deltas_applied += other.deltas_applied;
+  coalesced_batches += other.coalesced_batches;
+  rows_appended += other.rows_appended;
+  rows_replaced += other.rows_replaced;
+  rank_one_updates += other.rank_one_updates;
+  full_factorisations += other.full_factorisations;
+  return *this;
+}
 
-Status DeltaIngestor::Start() {
+Status ValidateCandidateEndpoints(const AlignedPair& pair,
+                                  const ServeDelta& delta) {
+  // A malformed delta must surface as a Status before anything mutates,
+  // not kill the server halfway through an epoch.
+  const size_t users_first = pair.first().NodeCount(NodeType::kUser) +
+                             delta.graph.first.NodeGrowth(NodeType::kUser);
+  const size_t users_second = pair.second().NodeCount(NodeType::kUser) +
+                              delta.graph.second.NodeGrowth(NodeType::kUser);
+  for (const auto& [u1, u2] : delta.new_candidates) {
+    if (u1 >= users_first || u2 >= users_second) {
+      return Status::OutOfRange(
+          "delta candidate endpoint outside the post-growth user universe");
+    }
+  }
+  return Status::OK();
+}
+
+ModelShard::ModelShard(CandidateLinkSet candidates,
+                       std::vector<size_t> global_ids,
+                       AlignmentService* service, IngestorOptions options)
+    : candidates_(std::move(candidates)),
+      service_(service),
+      options_(std::move(options)),
+      aligner_([this] {
+        IterAlignerOptions base;
+        base.c = options_.serve.ridge_c;
+        base.threshold = options_.serve.threshold;
+        base.selection = options_.serve.selection;
+        return base;
+      }()),
+      global_ids_(std::move(global_ids)) {
+  ACTIVEITER_CHECK(service != nullptr);
+  ACTIVEITER_CHECK_MSG(
+      global_ids_.empty() || global_ids_.size() == candidates_.size(),
+      "global_ids must be empty (identity) or cover the candidate set");
+  for (size_t i = 1; i < global_ids_.size(); ++i) {
+    ACTIVEITER_CHECK_MSG(global_ids_[i] > global_ids_[i - 1],
+                         "global link ids must be strictly increasing");
+  }
+  next_global_id_ =
+      global_ids_.empty() ? candidates_.size() : global_ids_.back() + 1;
+  if (!global_ids_.empty() && candidates_.empty()) next_global_id_ = 0;
+}
+
+Status ModelShard::Start(FeaturePlane& plane) {
   if (started_) return Status::FailedPrecondition("already started");
   const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
-  x_ = extractor_.Extract(candidates_);
-  index_ = std::make_unique<IncidenceIndex>(pair_, candidates_);
-  auto session = AlignmentSession::Create(x_, *index_, options_.ridge_c,
-                                          options_.features.pool);
+  x_ = plane.Extract(candidates_);
+  index_ = std::make_unique<IncidenceIndex>(plane.pair(), candidates_);
+  auto session = AlignmentSession::Create(x_, *index_,
+                                          options_.serve.ridge_c,
+                                          options_.serve.features.pool);
   if (!session.ok()) return session.status();
   session_ =
       std::make_unique<AlignmentSession>(std::move(session).value());
   // Pin the labeled positives L+: candidates that ARE a train anchor.
   std::unordered_set<uint64_t> labeled;
-  labeled.reserve(train_anchors_.size() * 2);
-  for (const AnchorLink& a : train_anchors_) {
+  labeled.reserve(plane.train_anchors().size() * 2);
+  for (const AnchorLink& a : plane.train_anchors()) {
     labeled.insert((static_cast<uint64_t>(a.u1) << 32) | a.u2);
   }
   for (size_t id = 0; id < candidates_.size(); ++id) {
@@ -52,7 +121,7 @@ Status DeltaIngestor::Start() {
     }
   }
   started_ = true;
-  Status published = PublishCurrent();
+  Status published = Publish();
   if (!published.ok()) return published;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -62,13 +131,13 @@ Status DeltaIngestor::Start() {
   return Status::OK();
 }
 
-Status DeltaIngestor::PublishCurrent() {
+Status ModelShard::Publish() {
   auto result = aligner_.Align(*session_);
   if (!result.ok()) return result.status();
   AlignmentResult& r = result.value();
   auto snap = std::make_shared<const ModelSnapshot>(
       BuildSnapshot(epoch_, *index_, std::move(r.scores), std::move(r.y),
-                    std::move(r.w)));
+                    std::move(r.w), global_ids_));
   service_->Publish(std::move(snap));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -77,28 +146,38 @@ Status DeltaIngestor::PublishCurrent() {
   return Status::OK();
 }
 
-Status DeltaIngestor::ApplyLocked(const ServeDelta& delta) {
+Status ModelShard::ApplySlice(const FeaturePlane& plane,
+                              const std::vector<size_t>& dirty_columns,
+                              const ServeDelta& slice,
+                              size_t submitted_batches) {
   if (!started_) return Status::FailedPrecondition("Start() first");
+  // The global Cholesky counters are windowed per call; when shards of
+  // one drain run concurrently the rank-1 window may include siblings'
+  // updates, so rank_one_updates is exact in deterministic (ApplyOnce)
+  // runs and an upper bound under shard-parallel ingest.
   const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
   const uint64_t rank1_before = CholeskyFactor::TotalRankOneUpdateCount();
 
-  // Candidate endpoints get the same validate-before-mutate treatment as
-  // the graph batch: a malformed delta must surface as a Status, not kill
-  // the server halfway through an epoch.
-  const size_t users_first = pair_.first().NodeCount(NodeType::kUser) +
-                             delta.graph.first.NodeGrowth(NodeType::kUser);
-  const size_t users_second = pair_.second().NodeCount(NodeType::kUser) +
-                              delta.graph.second.NodeGrowth(NodeType::kUser);
-  for (const auto& [u1, u2] : delta.new_candidates) {
-    if (u1 >= users_first || u2 >= users_second) {
-      return Status::OutOfRange(
-          "delta candidate endpoint outside the post-growth user universe");
+  // Global link ids are internal plumbing (assigned by the shard layer),
+  // so malformed ids are a programming error, not a Status.
+  ACTIVEITER_CHECK_MSG(
+      slice.candidate_ids.empty() ||
+          slice.candidate_ids.size() == slice.new_candidates.size(),
+      "candidate_ids must be empty or parallel to new_candidates");
+  if (!slice.candidate_ids.empty()) {
+    size_t last = next_global_id_;
+    for (size_t id : slice.candidate_ids) {
+      ACTIVEITER_CHECK_MSG(id >= last,
+                           "global link ids must be strictly increasing");
+      last = id + 1;
+    }
+    // Entering explicit-id mode: materialise the identity prefix the
+    // implicit mode stood for.
+    if (global_ids_.empty() && !candidates_.empty()) {
+      global_ids_.resize(candidates_.size());
+      for (size_t i = 0; i < global_ids_.size(); ++i) global_ids_[i] = i;
     }
   }
-
-  ACTIVEITER_RETURN_IF_ERROR(pair_.ApplyDelta(delta.graph));
-  extractor_.NoteDelta(delta.graph);
-  const std::vector<size_t> dirty_columns = extractor_.Refresh();
 
   // Existing candidates whose dirty feature columns actually moved:
   // overwrite the row in place and absorb it as a rank-1 replace.
@@ -108,7 +187,7 @@ Status DeltaIngestor::ApplyLocked(const ServeDelta& delta) {
     std::vector<Vector> fresh;
     fresh.reserve(dirty_columns.size());
     for (size_t k : dirty_columns) {
-      fresh.push_back(extractor_.Column(k, candidates_));
+      fresh.push_back(plane.Column(k, candidates_));
     }
     for (size_t i = 0; i < old_count; ++i) {
       bool changed = false;
@@ -129,24 +208,32 @@ Status DeltaIngestor::ApplyLocked(const ServeDelta& delta) {
   }
 
   // New candidates: feature rows straight from the proximity tables.
-  Matrix new_rows(delta.new_candidates.size(), extractor_.dimension());
-  for (size_t r = 0; r < delta.new_candidates.size(); ++r) {
-    const auto& [u1, u2] = delta.new_candidates[r];
+  Matrix new_rows(slice.new_candidates.size(), plane.dimension());
+  for (size_t r = 0; r < slice.new_candidates.size(); ++r) {
+    const auto& [u1, u2] = slice.new_candidates[r];
     candidates_.Add(u1, u2);
-    Vector row = extractor_.RowFor(u1, u2);
+    const size_t global_id = slice.candidate_ids.empty()
+                                 ? next_global_id_
+                                 : slice.candidate_ids[r];
+    if (!global_ids_.empty() || !slice.candidate_ids.empty()) {
+      global_ids_.push_back(global_id);
+    }
+    next_global_id_ = global_id + 1;
+    Vector row = plane.RowFor(u1, u2);
     for (size_t j = 0; j < row.size(); ++j) new_rows(r, j) = row(j);
   }
-  index_->SyncWithCandidates(pair_);
+  index_->SyncWithCandidates(plane.pair());
   x_.AppendRows(new_rows);
   ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbAppendedRows(old_count));
 
   ++epoch_;
-  ACTIVEITER_RETURN_IF_ERROR(PublishCurrent());
+  ACTIVEITER_RETURN_IF_ERROR(Publish());
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.deltas_applied;
-    stats_.rows_appended += delta.new_candidates.size();
+    stats_.deltas_applied += submitted_batches;
+    stats_.coalesced_batches += submitted_batches - 1;
+    stats_.rows_appended += slice.new_candidates.size();
     stats_.rows_replaced += replaced;
     stats_.rank_one_updates +=
         CholeskyFactor::TotalRankOneUpdateCount() - rank1_before;
@@ -156,17 +243,62 @@ Status DeltaIngestor::ApplyLocked(const ServeDelta& delta) {
   return Status::OK();
 }
 
+IngestStats ModelShard::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+DeltaIngestor::DeltaIngestor(AlignedPair pair,
+                             std::vector<AnchorLink> train_anchors,
+                             CandidateLinkSet candidates,
+                             AlignmentService* service,
+                             IngestorOptions options,
+                             std::vector<size_t> global_ids)
+    : options_(std::move(options)),
+      plane_(std::move(pair), std::move(train_anchors),
+             options_.serve.features),
+      shard_(std::move(candidates), std::move(global_ids), service,
+             options_) {}
+
+// The deprecated signature keeps old call sites compiling with the exact
+// legacy semantics: one epoch per submitted batch.
+DeltaIngestor::DeltaIngestor(AlignedPair pair,
+                             std::vector<AnchorLink> train_anchors,
+                             CandidateLinkSet candidates,
+                             AlignmentService* service, ServeOptions options)
+    : DeltaIngestor(std::move(pair), std::move(train_anchors),
+                    std::move(candidates), service,
+                    [&options] {
+                      IngestorOptions forwarded;
+                      forwarded.serve = options;
+                      forwarded.drain = DrainPolicy::kPerDelta;
+                      return forwarded;
+                    }()) {}
+
+DeltaIngestor::~DeltaIngestor() { Stop(); }
+
+Status DeltaIngestor::Start() { return shard_.Start(plane_); }
+
+Status DeltaIngestor::ApplyLocked(const ServeDelta& delta,
+                                  size_t submitted_batches) {
+  if (!shard_.started()) return Status::FailedPrecondition("Start() first");
+  ACTIVEITER_RETURN_IF_ERROR(ValidateCandidateEndpoints(plane_.pair(), delta));
+  ACTIVEITER_RETURN_IF_ERROR(plane_.Apply(delta.graph));
+  const std::vector<size_t> dirty_columns = plane_.Refresh();
+  return shard_.ApplySlice(plane_, dirty_columns, delta, submitted_batches);
+}
+
 Status DeltaIngestor::ApplyOnce(const ServeDelta& delta) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ACTIVEITER_CHECK_MSG(!thread_running_,
                          "ApplyOnce may not race the background thread");
   }
-  return ApplyLocked(delta);
+  return ApplyLocked(delta, /*submitted_batches=*/1);
 }
 
 void DeltaIngestor::StartBackground() {
-  ACTIVEITER_CHECK_MSG(started_, "Start() before StartBackground()");
+  ACTIVEITER_CHECK_MSG(shard_.started(), "Start() before StartBackground()");
   std::lock_guard<std::mutex> lock(mu_);
   if (thread_running_) return;
   stopping_ = false;
@@ -209,36 +341,42 @@ Status DeltaIngestor::background_status() const {
 
 void DeltaIngestor::WorkerLoop() {
   for (;;) {
-    ServeDelta delta;
+    std::vector<ServeDelta> drained;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping with a drained queue
-      delta = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+      // kCoalesce takes the whole backlog in one bite; kPerDelta keeps the
+      // legacy one-epoch-per-submit cadence.
+      const size_t take = options_.drain == DrainPolicy::kCoalesce
+                              ? queue_.size()
+                              : size_t{1};
+      drained.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        drained.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += drained.size();
       if (!background_status_.ok()) {
         // Sticky error: discard the batch, keep draining the queue.
-        --in_flight_;
+        in_flight_ -= drained.size();
         if (queue_.empty()) idle_cv_.notify_all();
         continue;
       }
     }
-    Status applied = ApplyLocked(delta);
+    const size_t count = drained.size();
+    ServeDelta merged = count == 1 ? std::move(drained.front())
+                                   : MergeServeDeltas(std::move(drained));
+    Status applied = ApplyLocked(merged, count);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!applied.ok() && background_status_.ok()) {
         background_status_ = applied;
       }
-      --in_flight_;
+      in_flight_ -= count;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
   }
-}
-
-IngestStats DeltaIngestor::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
 }
 
 }  // namespace activeiter

@@ -1,32 +1,47 @@
-// DeltaIngestor: the single-writer side of the online subsystem.
+// The ingest building blocks of the online subsystem.
 //
-// Owns every piece of mutable serving state — the aligned pair, the
-// candidate set, the incidence index, the delta-aware feature engine, the
-// growing design matrix X and the AlignmentSession — and advances it one
-// ServeDelta batch at a time:
+// The write side is split along the axis that matters for sharding:
 //
-//   1. pair.ApplyDelta            (atomic graph growth)
-//   2. extractor.NoteDelta/Refresh (only dirty diagrams recompute; clean
-//                                  intermediates migrate via padding)
-//   3. replaced rows              (existing candidates whose dirty feature
-//                                  columns changed: Gram replace + rank-1
-//                                  update/downdate pair per row)
-//   4. appended rows              (new candidates: feature row from the
-//                                  proximity tables, Gram fold-in + one
-//                                  rank-1 update per row)
-//   5. re-run the PU alternation  (IterAligner against the grown session —
-//                                  solves only, the factor is never
-//                                  rebuilt)
-//   6. BuildSnapshot + Publish    (atomic epoch swap in the service)
+//   FeaturePlane  (feature_plane.h)  — whole-graph state: aligned pair +
+//                                      delta feature engine. Cost scales
+//                                      with the GRAPH, not the candidates.
+//   ModelShard    (here)             — per-slice state: candidates,
+//                                      incidence, design matrix X,
+//                                      AlignmentSession, PU alternation,
+//                                      snapshot chain. Cost scales with
+//                                      the SLICE.
+//   DeltaIngestor (here)             — one plane + one shard + a queue:
+//                                      the standalone single-writer
+//                                      pipeline.
 //
-// After Start()'s single Prepare, no full factorisation ever runs again —
-// stats().full_factorisations stays 1, proven in the integration tests via
-// CholeskyFactor::TotalFactorCount.
+// A ServeDelta batch advances a (plane, shard) pair in six steps:
+//
+//   1. plane.Apply              (atomic graph growth + dirty tokens)
+//   2. plane.Refresh            (only dirty diagrams recompute; clean
+//                                intermediates migrate via padding)
+//   3. replaced rows            (existing candidates whose dirty feature
+//                                columns changed: Gram replace + rank-1
+//                                update/downdate pair per row)
+//   4. appended rows            (new candidates: feature row from the
+//                                proximity tables, Gram fold-in + one
+//                                rank-1 update per row)
+//   5. re-run the PU alternation (IterAligner against the grown session —
+//                                solves only, the factor is never rebuilt)
+//   6. BuildSnapshot + Publish  (atomic epoch swap in the service)
+//
+// Steps 1–2 are plane work (once per drain, however many shards); steps
+// 3–6 are shard work (per slice, shard-parallel under ShardedIngestor —
+// see shard.h). After Start()'s single Prepare no full factorisation ever
+// runs again — stats().full_factorisations stays 1 per shard, proven in
+// the integration tests via CholeskyFactor::TotalFactorCount.
 //
 // Deltas are applied either synchronously (ApplyOnce — deterministic, used
 // by tests and epoch-by-epoch comparisons) or by the background thread
 // (StartBackground + Submit + Flush). The two modes must not be mixed
-// while the thread runs.
+// while the thread runs. Under DrainPolicy::kCoalesce (the default) the
+// background thread merges everything queued at wake-up into ONE batch, so
+// a burst of B submits costs one realign + one published epoch instead of
+// B — IngestStats::coalesced_batches counts the submits absorbed this way.
 
 #ifndef ACTIVEITER_SERVE_INGESTOR_H_
 #define ACTIVEITER_SERVE_INGESTOR_H_
@@ -44,20 +59,34 @@
 #include "src/common/status.h"
 #include "src/graph/aligned_pair.h"
 #include "src/graph/incidence.h"
-#include "src/metadiagram/delta_features.h"
+#include "src/graph/partition.h"
+#include "src/serve/feature_plane.h"
 #include "src/serve/service.h"
 
 namespace activeiter {
 
 /// One ingest batch: graph growth plus the candidate pairs that start
 /// being served with it. Candidate endpoints may reference nodes added by
-/// the same batch.
+/// the same batch. `candidate_ids`, when non-empty, carries the global
+/// link id of each new candidate (parallel to `new_candidates`, strictly
+/// increasing) — the sharded ingest path assigns ids at routing time so a
+/// candidate keeps one id no matter which shard serves it. When empty the
+/// ingestor numbers new candidates sequentially (the unsharded identity
+/// mapping).
 struct ServeDelta {
   PairDelta graph;
   std::vector<std::pair<NodeId, NodeId>> new_candidates;
+  std::vector<size_t> candidate_ids;
 
   bool empty() const { return graph.empty() && new_candidates.empty(); }
 };
+
+/// Concatenates a burst of batches into one equivalent batch: node growth,
+/// edges, anchors and candidates in submission order. Applying the merged
+/// batch yields the same graph, candidate set and design matrix as
+/// applying the parts one by one — in one epoch instead of many. Either
+/// every input carries candidate_ids or none does (checked).
+ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas);
 
 /// Knobs of the serving model.
 struct ServeOptions {
@@ -69,26 +98,129 @@ struct ServeOptions {
   FeatureExtractorOptions features;
 };
 
+/// How the background thread drains its queue.
+enum class DrainPolicy {
+  /// Merge everything queued at wake-up into one batch: one realign + one
+  /// published epoch per drain, however deep the backlog.
+  kCoalesce,
+  /// One epoch per submitted batch (the pre-coalescing behaviour; every
+  /// submit costs a full realign).
+  kPerDelta,
+};
+
+/// Construction-time options of the ingest layer (single ingestor and
+/// sharded). Replaces the old long positional argument list.
+struct IngestorOptions {
+  /// Model knobs, forwarded to the alternation and feature engine.
+  ServeOptions serve;
+  /// Background-queue drain policy.
+  DrainPolicy drain = DrainPolicy::kCoalesce;
+  /// Shard layout. A plain DeltaIngestor ignores it (it serves whatever
+  /// slice it was handed); ShardedIngestor fans out over
+  /// partition.num_shards slices.
+  ShardPartition partition;
+  /// Default k for query front ends when the caller does not say (e.g.
+  /// serve_cli --topk 0).
+  size_t default_top_k = 10;
+};
+
 /// Cumulative ingest accounting (all fields monotone).
 struct IngestStats {
   uint64_t epochs_published = 0;
   uint64_t deltas_applied = 0;
+  uint64_t coalesced_batches = 0;     // submits absorbed into a shared epoch
   uint64_t rows_appended = 0;
   uint64_t rows_replaced = 0;
   uint64_t rank_one_updates = 0;      // factor updates + downdates
   uint64_t full_factorisations = 0;   // stays 1 after Start()
+
+  /// Element-wise sum (aggregating shard stats).
+  IngestStats& operator+=(const IngestStats& other);
 };
 
-/// Owns the live model and feeds an AlignmentService with epochs.
+/// One shard's model state: a disjoint candidate slice with its own
+/// incidence index, design matrix, RidgePrepared session, PU alternation
+/// and snapshot chain. Consumes a FeaturePlane it does not own; distinct
+/// shards over the same plane share nothing mutable, so their ApplySlice
+/// calls may run concurrently (each against its own slice) once the plane
+/// is refreshed.
+class ModelShard {
+ public:
+  /// `service` must outlive the shard. `global_ids`, when non-empty, maps
+  /// each initial candidate to its global link id (the sharded path;
+  /// empty means identity).
+  ModelShard(CandidateLinkSet candidates, std::vector<size_t> global_ids,
+             AlignmentService* service, IngestorOptions options);
+
+  // index_ borrows candidates_; keep the shard pinned in memory.
+  ModelShard(const ModelShard&) = delete;
+  ModelShard& operator=(const ModelShard&) = delete;
+
+  /// Builds and publishes epoch 0 — the only full feature gather, Gram
+  /// product and Cholesky factorisation of the shard's lifetime. The
+  /// plane refreshes lazily on the first shard that starts.
+  Status Start(FeaturePlane& plane);
+
+  /// Applies this shard's slice of a batch against an already-refreshed
+  /// plane: replaced rows for `dirty_columns`, appended rows for the
+  /// slice's new candidates, realign, publish. `submitted_batches` is the
+  /// number of Submit() calls the slice coalesces (1 for ApplyOnce).
+  Status ApplySlice(const FeaturePlane& plane,
+                    const std::vector<size_t>& dirty_columns,
+                    const ServeDelta& slice, size_t submitted_batches);
+
+  IngestStats stats() const;
+
+  bool started() const { return started_; }
+  const CandidateLinkSet& candidates() const { return candidates_; }
+  const Matrix& design() const { return x_; }
+  /// Local candidate id → global link id (empty = identity).
+  const std::vector<size_t>& global_ids() const { return global_ids_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  Status Publish();
+
+  CandidateLinkSet candidates_;
+  AlignmentService* service_;
+  IngestorOptions options_;
+
+  std::unique_ptr<IncidenceIndex> index_;
+  Matrix x_;
+  std::unique_ptr<AlignmentSession> session_;
+  IterAligner aligner_;
+  std::vector<size_t> global_ids_;
+  size_t next_global_id_ = 0;  // auto-numbering when deltas carry no ids
+  uint64_t epoch_ = 0;
+  bool started_ = false;
+
+  IngestStats stats_;
+  mutable std::mutex stats_mu_;
+};
+
+/// The standalone single-writer ingestor: one FeaturePlane, one
+/// ModelShard, one background queue. Owns the live model and feeds an
+/// AlignmentService with epochs.
 class DeltaIngestor {
  public:
   /// Takes ownership of the initial serving state. `train_anchors` is the
   /// fixed labeled bridge L+; candidates equal to a train anchor are
   /// pinned positive, everything else stays unlabeled (the PU setting).
-  /// `service` must outlive the ingestor.
+  /// `service` must outlive the ingestor. `global_ids`, when non-empty,
+  /// maps each initial candidate to its global link id (the sharded path;
+  /// empty means identity).
   DeltaIngestor(AlignedPair pair, std::vector<AnchorLink> train_anchors,
                 CandidateLinkSet candidates, AlignmentService* service,
-                ServeOptions options = {});
+                IngestorOptions options = {},
+                std::vector<size_t> global_ids = {});
+
+  /// Deprecated forwarding constructor (pre-IngestorOptions signature).
+  /// Maps to DrainPolicy::kPerDelta — the exact legacy behaviour — and
+  /// will be removed one release after the IngestorOptions constructor.
+  [[deprecated("pass IngestorOptions instead of ServeOptions")]]
+  DeltaIngestor(AlignedPair pair, std::vector<AnchorLink> train_anchors,
+                CandidateLinkSet candidates, AlignmentService* service,
+                ServeOptions options);
 
   ~DeltaIngestor();
 
@@ -118,40 +250,33 @@ class DeltaIngestor {
   /// submitted after an error are discarded).
   Status background_status() const;
 
-  IngestStats stats() const;
+  IngestStats stats() const { return shard_.stats(); }
 
-  // Read-only views of the live (ingest-side) state — for tests, the CLI
-  // and batch-rebuild comparisons. NOT safe to call while the background
-  // thread is running; query through the AlignmentService instead.
-  const AlignedPair& pair() const { return pair_; }
-  const CandidateLinkSet& candidates() const { return candidates_; }
+  const IngestorOptions& options() const { return options_; }
+
+  // Read-only views of the live (ingest-side) state — for tests, shard
+  // plumbing and batch-rebuild comparisons. NOT safe to call while the
+  // background thread is running; query through the QueryBackend surface
+  // instead.
+  const AlignedPair& pair() const { return plane_.pair(); }
+  const CandidateLinkSet& candidates() const { return shard_.candidates(); }
   const std::vector<AnchorLink>& train_anchors() const {
-    return train_anchors_;
+    return plane_.train_anchors();
   }
-  const Matrix& design() const { return x_; }
-  uint64_t epoch() const { return epoch_; }
+  const Matrix& design() const { return shard_.design(); }
+  /// Local candidate id → global link id.
+  const std::vector<size_t>& global_ids() const {
+    return shard_.global_ids();
+  }
+  uint64_t epoch() const { return shard_.epoch(); }
 
  private:
   void WorkerLoop();
-  Status ApplyLocked(const ServeDelta& delta);
-  Status PublishCurrent();
+  Status ApplyLocked(const ServeDelta& delta, size_t submitted_batches);
 
-  AlignedPair pair_;
-  std::vector<AnchorLink> train_anchors_;
-  CandidateLinkSet candidates_;
-  AlignmentService* service_;
-  ServeOptions options_;
-
-  DeltaFeatureExtractor extractor_;
-  std::unique_ptr<IncidenceIndex> index_;
-  Matrix x_;
-  std::unique_ptr<AlignmentSession> session_;
-  IterAligner aligner_;
-  uint64_t epoch_ = 0;
-  bool started_ = false;
-
-  IngestStats stats_;
-  mutable std::mutex stats_mu_;
+  IngestorOptions options_;
+  FeaturePlane plane_;
+  ModelShard shard_;
 
   // Background queue.
   std::thread worker_;
@@ -164,6 +289,12 @@ class DeltaIngestor {
   bool thread_running_ = false;
   Status background_status_ = Status::OK();
 };
+
+/// Validates that every candidate endpoint of `delta` falls inside the
+/// user universes AFTER the batch's own node growth — the shared
+/// validate-before-mutate step of DeltaIngestor and ShardedIngestor.
+Status ValidateCandidateEndpoints(const AlignedPair& pair,
+                                  const ServeDelta& delta);
 
 }  // namespace activeiter
 

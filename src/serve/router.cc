@@ -1,0 +1,85 @@
+#include "src/serve/router.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace activeiter {
+
+namespace {
+
+/// Serving order: score descending, ties by ascending global link id.
+bool ServesBefore(const ScoredLink& a, const ScoredLink& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.link_id < b.link_id;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<const QueryBackend*> shards,
+                         ShardPartition partition)
+    : shards_(std::move(shards)), partition_(std::move(partition)) {
+  ACTIVEITER_CHECK(!shards_.empty());
+  ACTIVEITER_CHECK(partition_.Validate().ok());
+  ACTIVEITER_CHECK_MSG(shards_.size() == partition_.num_shards,
+                       "router must hold one backend per partition shard");
+  for (const QueryBackend* shard : shards_) {
+    ACTIVEITER_CHECK(shard != nullptr);
+  }
+}
+
+Result<std::vector<ScoredLink>> ShardRouter::TopKFor(NodeId u1,
+                                                     size_t k) const {
+  // Gather each shard's sorted top-k. A shard that has not published yet
+  // makes the whole answer FailedPrecondition — partial answers would
+  // silently miss candidates.
+  std::vector<std::vector<ScoredLink>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const QueryBackend* shard : shards_) {
+    auto top = shard->TopKFor(u1, k);
+    if (!top.ok()) return top.status();
+    per_shard.push_back(std::move(top).value());
+  }
+
+  // K-way merge of sorted runs via a min-heap of per-shard cursors.
+  struct Cursor {
+    size_t shard;
+    size_t pos;
+  };
+  auto later = [&per_shard](const Cursor& a, const Cursor& b) {
+    return ServesBefore(per_shard[b.shard][b.pos],
+                        per_shard[a.shard][a.pos]);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(
+      later);
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (!per_shard[s].empty()) heap.push({s, 0});
+  }
+  std::vector<ScoredLink> out;
+  out.reserve(std::min(k, per_shard.size() * k));
+  while (!heap.empty() && out.size() < k) {
+    Cursor cur = heap.top();
+    heap.pop();
+    out.push_back(per_shard[cur.shard][cur.pos]);
+    if (cur.pos + 1 < per_shard[cur.shard].size()) {
+      heap.push({cur.shard, cur.pos + 1});
+    }
+  }
+  return out;
+}
+
+Result<ScoredLink> ShardRouter::ScorePair(NodeId u1, NodeId u2) const {
+  return shards_[partition_.ShardOfFirstUser(u1)]->ScorePair(u1, u2);
+}
+
+uint64_t ShardRouter::epoch() const {
+  uint64_t completed = ~uint64_t{0};
+  for (const QueryBackend* shard : shards_) {
+    const uint64_t e = shard->epoch();
+    if (e == kNoEpoch) return kNoEpoch;
+    completed = std::min(completed, e);
+  }
+  return completed;
+}
+
+}  // namespace activeiter

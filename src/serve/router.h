@@ -1,0 +1,64 @@
+// ShardRouter: the QueryBackend that fronts N shard backends.
+//
+//                        ┌────────────────┐
+//        TopKFor ──────▶ │                │ ──▶ shard 0 (AlignmentService)
+//        ScorePair ────▶ │  ShardRouter   │ ──▶ shard 1
+//        epoch ────────▶ │                │ ──▶ ...
+//                        └────────────────┘
+//
+// Routing:
+//   * ScorePair(u1, u2) goes straight to the shard that owns u1 under the
+//     ShardPartition — one hop, no fan-out.
+//   * TopKFor(u1, k) fans out to every shard and k-way merges the
+//     per-shard sorted results (score descending, ties by ascending
+//     global link id). Under the u1-range partition only the owning shard
+//     contributes, but the merge keeps the router partition-agnostic: a
+//     future second-endpoint or hashed partition routes through the same
+//     code unchanged.
+//   * epoch() is the minimum shard epoch — the epoch every shard has
+//     completed. It is monotone because each shard's epoch is.
+//
+// The router is stateless apart from the borrowed backend pointers, so it
+// is safe to call from any number of reader threads concurrently — all
+// synchronisation lives in the shards' snapshot-swap protocol.
+
+#ifndef ACTIVEITER_SERVE_ROUTER_H_
+#define ACTIVEITER_SERVE_ROUTER_H_
+
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/serve/backend.h"
+
+namespace activeiter {
+
+/// Fans queries over disjoint candidate slices and merges.
+class ShardRouter : public QueryBackend {
+ public:
+  /// `shards` are borrowed and must outlive the router; shard i must own
+  /// exactly the candidates `partition` assigns to shard i.
+  ShardRouter(std::vector<const QueryBackend*> shards,
+              ShardPartition partition);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardPartition& partition() const { return partition_; }
+
+  /// QueryBackend: fan + k-way merge (score desc, ties by global link id).
+  /// FailedPrecondition until EVERY shard has published.
+  Result<std::vector<ScoredLink>> TopKFor(NodeId u1,
+                                          size_t k) const override;
+
+  /// QueryBackend: one hop to the shard owning u1.
+  Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const override;
+
+  /// Minimum shard epoch (kNoEpoch until every shard has published).
+  uint64_t epoch() const override;
+
+ private:
+  std::vector<const QueryBackend*> shards_;
+  ShardPartition partition_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_ROUTER_H_

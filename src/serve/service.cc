@@ -15,6 +15,8 @@ uint64_t AlignmentService::epoch() const {
 
 void AlignmentService::Publish(std::shared_ptr<const ModelSnapshot> next) {
   ACTIVEITER_CHECK(next != nullptr);
+  ACTIVEITER_CHECK_MSG(next->epoch != kNoEpoch,
+                       "kNoEpoch is reserved for the pre-publish state");
   auto current = std::atomic_load(&snapshot_);
   ACTIVEITER_CHECK_MSG(current == nullptr || next->epoch > current->epoch,
                        "epochs must be published in increasing order");

@@ -1,5 +1,5 @@
 // AlignmentService: the thread-safe query front end of the online
-// subsystem.
+// subsystem — the single-slice QueryBackend implementation.
 //
 // Serving protocol (epoch publication):
 //
@@ -13,6 +13,11 @@
 // Queries therefore never block on ingest, never observe a half-built
 // epoch, and never race the swap: the only shared word is the shared_ptr
 // control block, accessed through std::atomic_load/atomic_store.
+//
+// Surface note: query callers hold this (or a ShardRouter fanning over N
+// of these) as a QueryBackend* — see backend.h for the contract. The
+// Publish/snapshot methods below are the write-side coupling to the
+// ingestor and are not part of the query surface.
 
 #ifndef ACTIVEITER_SERVE_SERVICE_H_
 #define ACTIVEITER_SERVE_SERVICE_H_
@@ -21,37 +26,38 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/serve/backend.h"
 #include "src/serve/snapshot.h"
 
 namespace activeiter {
 
 /// Concurrent score/match query API over the latest published snapshot.
-class AlignmentService {
+class AlignmentService : public QueryBackend {
  public:
   AlignmentService() = default;
 
   /// The current snapshot (nullptr before the first Publish). Callers may
-  /// hold the pointer across any number of later publishes.
+  /// hold the pointer across any number of later publishes. Write-side /
+  /// test API; query callers stay on the QueryBackend surface.
   std::shared_ptr<const ModelSnapshot> snapshot() const;
 
   /// Epoch of the current snapshot, or kNoEpoch before the first publish.
-  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
-  uint64_t epoch() const;
+  uint64_t epoch() const override;
 
   /// Atomically swaps in a new epoch. Single-writer (the ingest thread);
   /// epochs must be published in increasing order (checked).
   void Publish(std::shared_ptr<const ModelSnapshot> next);
 
-  /// Top-k candidate links of user `u1` of the first network, by score
-  /// descending (ties by link id). Users unknown to the snapshot's epoch
-  /// (e.g. added by an ingest batch that has not published yet) get an
-  /// empty result, not an error — the serving contract is "answers as of
-  /// the published epoch".
-  Result<std::vector<ScoredLink>> TopKFor(NodeId u1, size_t k) const;
+  /// QueryBackend: top-k links of `u1`, score desc, ties by ascending
+  /// global link id. Users unknown to the published epoch get an empty
+  /// result, not an error — the serving contract is "answers as of the
+  /// published epoch".
+  Result<std::vector<ScoredLink>> TopKFor(NodeId u1,
+                                          size_t k) const override;
 
-  /// The scored view of candidate (u1, u2); NotFound when the pair is not
-  /// a candidate in the published epoch.
-  Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const;
+  /// QueryBackend: the scored view of candidate (u1, u2); NotFound when
+  /// the pair is not a candidate in the published epoch.
+  Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const override;
 
  private:
   std::shared_ptr<const ModelSnapshot> snapshot_;  // std::atomic_load/store

@@ -1,0 +1,228 @@
+#include "src/serve/shard.h"
+
+#include <utility>
+
+namespace activeiter {
+
+std::vector<ServeDelta> RouteServeDelta(const ServeDelta& delta,
+                                        const ShardPartition& partition,
+                                        size_t first_global_id) {
+  ACTIVEITER_CHECK_MSG(delta.candidate_ids.empty(),
+                       "incoming batches must not carry global link ids");
+  std::vector<ServeDelta> routed(partition.num_shards);
+  for (ServeDelta& r : routed) r.graph = delta.graph;
+  size_t global_id = first_global_id;
+  for (const auto& [u1, u2] : delta.new_candidates) {
+    ServeDelta& r = routed[partition.ShardOfFirstUser(u1)];
+    r.new_candidates.emplace_back(u1, u2);
+    r.candidate_ids.push_back(global_id++);
+  }
+  return routed;
+}
+
+ShardedIngestor::ShardedIngestor(AlignedPair pair,
+                                 std::vector<AnchorLink> train_anchors,
+                                 CandidateLinkSet candidates,
+                                 IngestorOptions options)
+    : options_(std::move(options)),
+      plane_(std::move(pair), std::move(train_anchors),
+             options_.serve.features) {
+  ACTIVEITER_CHECK(options_.partition.Validate().ok());
+  const size_t n = options_.partition.num_shards;
+  next_global_id_ = candidates.size();
+  std::vector<CandidateSlice> slices =
+      PartitionCandidates(candidates, options_.partition);
+  services_.reserve(n);
+  shards_.reserve(n);
+  std::vector<const QueryBackend*> backends;
+  backends.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    services_.push_back(std::make_unique<AlignmentService>());
+    shards_.push_back(std::make_unique<ModelShard>(
+        std::move(slices[s].links), std::move(slices[s].global_ids),
+        services_.back().get(), options_));
+    backends.push_back(services_.back().get());
+  }
+  router_ =
+      std::make_unique<ShardRouter>(std::move(backends), options_.partition);
+}
+
+ShardedIngestor::~ShardedIngestor() { Stop(); }
+
+Status ShardedIngestor::Start() {
+  // Sequential: the first shard's Extract refreshes the shared plane;
+  // the rest are pure gathers over their slices.
+  for (auto& shard : shards_) {
+    ACTIVEITER_RETURN_IF_ERROR(shard->Start(plane_));
+  }
+  return Status::OK();
+}
+
+Status ShardedIngestor::ApplyMerged(const ServeDelta& merged,
+                                    size_t submitted_batches,
+                                    bool parallel_shards) {
+  for (const auto& shard : shards_) {
+    if (!shard->started()) return Status::FailedPrecondition("Start() first");
+  }
+  // Validate-before-mutate: a rejected batch leaves the plane AND every
+  // shard untouched, so the write side stays consistent.
+  ACTIVEITER_RETURN_IF_ERROR(
+      ValidateCandidateEndpoints(plane_.pair(), merged));
+  ACTIVEITER_RETURN_IF_ERROR(plane_.Apply(merged.graph));
+  const std::vector<size_t> dirty_columns = plane_.Refresh();
+  std::vector<ServeDelta> routed =
+      RouteServeDelta(merged, options_.partition, next_global_id_);
+
+  std::vector<Status> applied(shards_.size(), Status::OK());
+  if (parallel_shards && shards_.size() > 1) {
+    // Plain threads, not the kernel pool: shard slices may themselves
+    // fan work onto the shared pool, and the drain easily amortises the
+    // spawn cost.
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      threads.emplace_back([this, &dirty_columns, &routed, &applied,
+                            submitted_batches, s] {
+        applied[s] = shards_[s]->ApplySlice(plane_, dirty_columns,
+                                            routed[s], submitted_batches);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      applied[s] = shards_[s]->ApplySlice(plane_, dirty_columns, routed[s],
+                                          submitted_batches);
+    }
+  }
+  for (const Status& status : applied) {
+    if (!status.ok()) return status;
+  }
+  next_global_id_ += merged.new_candidates.size();
+  return Status::OK();
+}
+
+Status ShardedIngestor::ApplyOnce(const ServeDelta& delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ACTIVEITER_CHECK_MSG(!thread_running_,
+                         "ApplyOnce may not race the coordinator");
+  }
+  return ApplyMerged(delta, /*submitted_batches=*/1,
+                     /*parallel_shards=*/false);
+}
+
+void ShardedIngestor::StartBackground() {
+  for (const auto& shard : shards_) {
+    ACTIVEITER_CHECK_MSG(shard->started(),
+                         "Start() before StartBackground()");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_running_) return;
+  stopping_ = false;
+  thread_running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void ShardedIngestor::Submit(ServeDelta delta) {
+  ACTIVEITER_CHECK_MSG(delta.candidate_ids.empty(),
+                       "incoming batches must not carry global link ids");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(delta));
+  }
+  cv_.notify_one();
+}
+
+void ShardedIngestor::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || !thread_running_;
+  });
+}
+
+void ShardedIngestor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+  idle_cv_.notify_all();
+}
+
+Status ShardedIngestor::background_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_status_;
+}
+
+void ShardedIngestor::WorkerLoop() {
+  for (;;) {
+    std::vector<ServeDelta> drained;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      const size_t take = options_.drain == DrainPolicy::kCoalesce
+                              ? queue_.size()
+                              : size_t{1};
+      drained.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        drained.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += drained.size();
+      if (!background_status_.ok()) {
+        // Sticky error: discard the batch, keep draining the queue.
+        in_flight_ -= drained.size();
+        if (queue_.empty()) idle_cv_.notify_all();
+        continue;
+      }
+    }
+    const size_t count = drained.size();
+    ServeDelta merged = count == 1 ? std::move(drained.front())
+                                   : MergeServeDeltas(std::move(drained));
+    Status applied = ApplyMerged(merged, count, /*parallel_shards=*/true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!applied.ok() && background_status_.ok()) {
+        background_status_ = applied;
+      }
+      in_flight_ -= count;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+IngestStats ShardedIngestor::stats() const {
+  // Drain-level counters are lock-step across shards (every shard sees
+  // every drain), so shard 0 speaks for all; per-row work is summed.
+  IngestStats total = shards_.front()->stats();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const IngestStats shard = shards_[s]->stats();
+    total.rows_appended += shard.rows_appended;
+    total.rows_replaced += shard.rows_replaced;
+    total.rank_one_updates += shard.rank_one_updates;
+    total.full_factorisations += shard.full_factorisations;
+  }
+  return total;
+}
+
+IngestStats ShardedIngestor::shard_stats(size_t shard) const {
+  ACTIVEITER_CHECK(shard < shards_.size());
+  return shards_[shard]->stats();
+}
+
+const ModelShard& ShardedIngestor::shard(size_t shard) const {
+  ACTIVEITER_CHECK(shard < shards_.size());
+  return *shards_[shard];
+}
+
+const AlignmentService& ShardedIngestor::shard_service(size_t shard) const {
+  ACTIVEITER_CHECK(shard < shards_.size());
+  return *services_[shard];
+}
+
+}  // namespace activeiter

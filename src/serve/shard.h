@@ -1,0 +1,167 @@
+// ShardedIngestor: the write side of the sharded serve layer.
+//
+//                       ┌──────────────── ShardedIngestor ────────────────┐
+//   ServeDelta ──▶ queue ─▶ coordinator ─▶ FeaturePlane (graph + features,│
+//     (Submit)            (coalesce +        refreshed ONCE per drain)    │
+//                          route by          │ shared, read-only fan-out  │
+//                          u1 range,    ┌────┴────┬─────────┐             │
+//                          assign       ▼         ▼         ▼             │
+//                          global    shard 0   shard 1    ...             │
+//                          link ids) ModelShard ModelShard (parallel      │
+//                                       │         │         realigns)     │
+//                                       ▼         ▼                       │
+//                                    AlignmentService per shard ──────────┼─▶ ShardRouter
+//                       └─────────────────────────────────────────────────┘   (QueryBackend)
+//
+// The split that makes this scale: whole-graph work (delta application,
+// dirty-diagram recomputation, proximity tables) lives in ONE shared
+// FeaturePlane and runs once per drain, while per-candidate work (row
+// gathers, Gram rank-1 updates, the PU realign, snapshot builds) is
+// partitioned across N ModelShards that consume the refreshed plane
+// concurrently — each owns a disjoint user-range slice of H with its own
+// RidgePrepared, AlignmentSession and snapshot chain, and shards share
+// nothing mutable.
+//
+// Model semantics: each shard trains the PU alternation on its own slice.
+// With one shard this is bit-for-bit the unsharded DeltaIngestor (same
+// plane + shard composition; proven by the N=1 equivalence test); with N
+// shards each slice's model equals an independent single ingestor run
+// over that slice (the plane's feature state depends only on the graph,
+// never on the candidate set; proven by the N∈{2,4} equivalence test),
+// trading cross-shard one-to-one coupling on second-network users for
+// shard-parallel ingest.
+//
+// Global link ids are assigned at drain time, in submission order across
+// all shards, so ids are stable across shard counts and the router's
+// merged answers are comparable run-to-run.
+//
+// Failure model: a batch that fails validation (bad graph delta, bad
+// candidate endpoint) is rejected before anything mutates. A model-side
+// failure inside a shard (numerical breakdown in a session op) makes the
+// background status sticky — the write side stops, the read side keeps
+// serving every shard's last published epoch.
+
+#ifndef ACTIVEITER_SERVE_SHARD_H_
+#define ACTIVEITER_SERVE_SHARD_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/partition.h"
+#include "src/serve/ingestor.h"
+#include "src/serve/router.h"
+
+namespace activeiter {
+
+/// Splits one incoming batch into per-shard batches: the graph delta is
+/// replicated to every shard (slices must stay aligned with the shared
+/// plane), new candidates go to the shard owning their first endpoint,
+/// and each candidate is stamped with a global link id starting at
+/// `first_global_id`. The incoming batch must not carry ids already.
+std::vector<ServeDelta> RouteServeDelta(const ServeDelta& delta,
+                                        const ShardPartition& partition,
+                                        size_t first_global_id);
+
+/// One FeaturePlane + N ModelShards over disjoint candidate slices plus
+/// the ShardRouter serving them. Mirrors the DeltaIngestor lifecycle
+/// (Start → ApplyOnce | StartBackground/Submit/Flush/Stop); queries go
+/// through backend().
+class ShardedIngestor {
+ public:
+  /// Takes ownership of the initial state and splits it across
+  /// `options.partition.num_shards` shards. The pair and the labeled
+  /// bridge L+ live once, in the shared plane; candidate ownership
+  /// follows the partition.
+  ShardedIngestor(AlignedPair pair, std::vector<AnchorLink> train_anchors,
+                  CandidateLinkSet candidates, IngestorOptions options = {});
+
+  ~ShardedIngestor();
+
+  ShardedIngestor(const ShardedIngestor&) = delete;
+  ShardedIngestor& operator=(const ShardedIngestor&) = delete;
+
+  /// Starts every shard against the shared plane (one full feature
+  /// refresh total; one Gram factorisation per shard) and publishes
+  /// epoch 0 on all of them.
+  Status Start();
+
+  /// Routes one batch and applies it synchronously, shard after shard.
+  /// Deterministic; shard epochs stay in lock-step.
+  Status ApplyOnce(const ServeDelta& delta);
+
+  /// Background ingest: one coordinator thread that drains the queue
+  /// (coalescing per the drain policy), advances the plane once, then
+  /// applies all shard slices in parallel.
+  void StartBackground();
+
+  /// Enqueues a batch. The batch must not carry global link ids — this
+  /// layer assigns them, in submission order, at drain time.
+  void Submit(ServeDelta delta);
+
+  /// Blocks until every submitted batch has been applied and published.
+  void Flush();
+
+  /// Drains the queue and joins the coordinator (idempotent).
+  void Stop();
+
+  /// First error reported by the coordinator (sticky; batches submitted
+  /// after an error are discarded).
+  Status background_status() const;
+
+  /// The query surface. Valid for the ingestor's lifetime; safe for any
+  /// number of concurrent readers.
+  const QueryBackend& backend() const { return *router_; }
+  const ShardRouter& router() const { return *router_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardPartition& partition() const { return options_.partition; }
+  const IngestorOptions& options() const { return options_; }
+
+  /// Ingest accounting. Drain-level counters (epochs_published,
+  /// deltas_applied, coalesced_batches) advance in lock-step on every
+  /// shard and are reported once; per-row counters (rows_appended,
+  /// rows_replaced, rank_one_updates, full_factorisations) are summed
+  /// across shards — full_factorisations equals num_shards after Start().
+  IngestStats stats() const;
+  IngestStats shard_stats(size_t shard) const;
+
+  // Per-shard internals for tests and equivalence comparisons. NOT safe
+  // while the coordinator runs.
+  const AlignedPair& pair() const { return plane_.pair(); }
+  const ModelShard& shard(size_t shard) const;
+  const AlignmentService& shard_service(size_t shard) const;
+
+ private:
+  void WorkerLoop();
+  /// Validate → plane Apply/Refresh → route → shard fan-out (sequential
+  /// in deterministic mode, one thread per shard under the coordinator).
+  Status ApplyMerged(const ServeDelta& merged, size_t submitted_batches,
+                     bool parallel_shards);
+
+  IngestorOptions options_;
+  FeaturePlane plane_;
+  std::vector<std::unique_ptr<AlignmentService>> services_;
+  std::vector<std::unique_ptr<ModelShard>> shards_;
+  std::unique_ptr<ShardRouter> router_;
+  size_t next_global_id_ = 0;
+
+  // Coordinator queue (same discipline as DeltaIngestor's).
+  std::thread worker_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue not empty / stopping
+  std::condition_variable idle_cv_;   // queue drained
+  std::deque<ServeDelta> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  bool thread_running_ = false;
+  Status background_status_ = Status::OK();
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_SERVE_SHARD_H_

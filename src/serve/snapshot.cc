@@ -5,7 +5,7 @@ namespace activeiter {
 ScoredLink ModelSnapshot::At(size_t link_id) const {
   ACTIVEITER_CHECK(link_id < links.size());
   ScoredLink out;
-  out.link_id = link_id;
+  out.link_id = GlobalId(link_id);
   out.u1 = links[link_id].first;
   out.u2 = links[link_id].second;
   out.score = scores(link_id);
@@ -14,17 +14,22 @@ ScoredLink ModelSnapshot::At(size_t link_id) const {
 }
 
 ModelSnapshot BuildSnapshot(uint64_t epoch, const IncidenceIndex& index,
-                            Vector scores, Vector y, Vector w) {
+                            Vector scores, Vector y, Vector w,
+                            std::vector<size_t> global_ids) {
   const CandidateLinkSet& candidates = index.candidates();
   ACTIVEITER_CHECK_MSG(
       scores.size() == candidates.size() && y.size() == candidates.size(),
       "snapshot vectors must cover the candidate set");
+  ACTIVEITER_CHECK_MSG(
+      global_ids.empty() || global_ids.size() == candidates.size(),
+      "global_ids must be empty (identity) or cover the candidate set");
   ModelSnapshot snap;
   snap.epoch = epoch;
   snap.links = candidates.links();
   snap.scores = std::move(scores);
   snap.y = std::move(y);
   snap.w = std::move(w);
+  snap.global_ids = std::move(global_ids);
   snap.links_of_first.reserve(index.users_first());
   for (NodeId u = 0; u < index.users_first(); ++u) {
     snap.links_of_first.push_back(index.LinksOfFirst(u));

@@ -6,6 +6,10 @@
 // atomic shared_ptr store, and readers that loaded the previous epoch keep
 // using it safely until their last reference drops. See service.h for the
 // swap itself.
+//
+// NOTE: this header is write-side implementation detail. Query callers
+// program against src/serve/backend.h (QueryBackend + ScoredLink) and
+// never touch a raw ModelSnapshot.
 
 #ifndef ACTIVEITER_SERVE_SNAPSHOT_H_
 #define ACTIVEITER_SERVE_SNAPSHOT_H_
@@ -17,26 +21,23 @@
 #include "src/graph/incidence.h"
 #include "src/graph/types.h"
 #include "src/linalg/vector.h"
+#include "src/serve/backend.h"
 
 namespace activeiter {
 
-/// One scored candidate link, as returned by the query API.
-struct ScoredLink {
-  size_t link_id = 0;
-  NodeId u1 = 0;
-  NodeId u2 = 0;
-  double score = 0.0;
-  bool matched = false;  // selected positive by the alternation (y = 1)
-};
-
 /// One published model epoch. Immutable after construction; fully owns its
-/// data.
+/// data. All vectors are indexed by LOCAL link id (position in the owning
+/// slice's candidate set); `global_ids` maps local → global for the query
+/// surface. In the unsharded deployment local and global ids coincide and
+/// `global_ids` stays empty.
 struct ModelSnapshot {
   uint64_t epoch = 0;
   std::vector<std::pair<NodeId, NodeId>> links;  // candidate pairs by id
   Vector scores;                                 // ŷ = Xw over links
   Vector y;                                      // inferred {0,1} labels
   Vector w;                                      // model weights
+  // Local id → global link id; empty means identity (unsharded).
+  std::vector<size_t> global_ids;
   // Per-user candidate link ids (copied from the incidence index).
   std::vector<std::vector<size_t>> links_of_first;
   std::vector<std::vector<size_t>> links_of_second;
@@ -45,14 +46,23 @@ struct ModelSnapshot {
   size_t users_first() const { return links_of_first.size(); }
   size_t users_second() const { return links_of_second.size(); }
 
-  /// Assembles the scored view of one link id.
+  /// The global link id exported for local id `link_id`.
+  size_t GlobalId(size_t link_id) const {
+    return global_ids.empty() ? link_id : global_ids[link_id];
+  }
+
+  /// Assembles the scored view of one LOCAL link id (the exported
+  /// ScoredLink carries the global id).
   ScoredLink At(size_t link_id) const;
 };
 
 /// Deep-copies the queryable state of one alignment solution into a
-/// snapshot. `scores`/`y` are indexed by the candidate ids of `index`.
+/// snapshot. `scores`/`y` are indexed by the candidate ids of `index`;
+/// `global_ids` maps those local ids to global link ids (pass {} for the
+/// identity mapping of an unsharded deployment).
 ModelSnapshot BuildSnapshot(uint64_t epoch, const IncidenceIndex& index,
-                            Vector scores, Vector y, Vector w);
+                            Vector scores, Vector y, Vector w,
+                            std::vector<size_t> global_ids = {});
 
 }  // namespace activeiter
 

@@ -1,0 +1,166 @@
+// Drain-time coalescing: a backlog of B submits collapses into ONE
+// applied batch, one realign and one published epoch — and the resulting
+// model is BITWISE the one ApplyOnce(MergeServeDeltas(backlog)) builds.
+// The legacy DrainPolicy::kPerDelta (via the deprecated constructor)
+// keeps the one-epoch-per-submit cadence.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/aligned_generator.h"
+#include "src/datagen/presets.h"
+#include "src/serve/delta_stream.h"
+#include "src/serve/shard.h"
+
+namespace activeiter {
+namespace {
+
+DeltaStream CarvedStream(uint64_t seed) {
+  auto full = AlignedNetworkGenerator(TinyPreset(seed)).Generate();
+  EXPECT_TRUE(full.ok());
+  DeltaStreamOptions carve;
+  carve.num_batches = 5;
+  carve.initial_fraction = 0.4;
+  carve.np_ratio = 4.0;
+  carve.seed = seed ^ 0x5EEDULL;
+  auto stream = CarveDeltaStream(full.value(), carve);
+  EXPECT_TRUE(stream.ok());
+  return std::move(stream).ValueOrDie();
+}
+
+TEST(CoalesceTest, BacklogDrainsAsOneEpochBitwiseEqualToMergedApply) {
+  DeltaStream s = CarvedStream(61);
+  DeltaStream s_copy = CarvedStream(61);
+  const size_t batches = s.batches.size();
+
+  // Coalescing ingestor: enqueue the whole backlog BEFORE the worker
+  // starts, so the first wake-up deterministically sees all of it.
+  AlignmentService service;
+  DeltaIngestor ingestor(std::move(s.initial), s.train_anchors,
+                         std::move(s.initial_candidates), &service);
+  ASSERT_TRUE(ingestor.Start().ok());
+  for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
+  ingestor.StartBackground();
+  ingestor.Flush();
+  ingestor.Stop();
+  ASSERT_TRUE(ingestor.background_status().ok());
+
+  const IngestStats stats = ingestor.stats();
+  EXPECT_EQ(stats.deltas_applied, batches);
+  EXPECT_EQ(stats.coalesced_batches, batches - 1);
+  EXPECT_EQ(stats.epochs_published, 2u);  // epoch 0 + the single drain
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(stats.full_factorisations, 1u);
+
+  // Twin: the merged backlog applied synchronously — bit-for-bit the
+  // same graph, design matrix and published model.
+  AlignmentService twin_service;
+  DeltaIngestor twin(std::move(s_copy.initial), s_copy.train_anchors,
+                     std::move(s_copy.initial_candidates), &twin_service);
+  ASSERT_TRUE(twin.Start().ok());
+  ASSERT_TRUE(
+      twin.ApplyOnce(MergeServeDeltas(std::move(s_copy.batches))).ok());
+
+  ASSERT_EQ(twin.candidates().size(), ingestor.candidates().size());
+  EXPECT_EQ(Matrix::MaxAbsDiff(twin.design(), ingestor.design()), 0.0);
+  auto snap = service.snapshot();
+  auto twin_snap = twin_service.snapshot();
+  ASSERT_EQ(snap->size(), twin_snap->size());
+  for (size_t i = 0; i < snap->size(); ++i) {
+    EXPECT_EQ(snap->scores(i), twin_snap->scores(i));
+    EXPECT_EQ(snap->y(i), twin_snap->y(i));
+    EXPECT_EQ(snap->links[i], twin_snap->links[i]);
+  }
+}
+
+TEST(CoalesceTest, ShardedBacklogCoalescesOnceAcrossAllShards) {
+  DeltaStream s = CarvedStream(67);
+  DeltaStream s_copy = CarvedStream(67);
+  const size_t batches = s.batches.size();
+
+  IngestorOptions options;
+  options.partition.num_shards = 2;
+  ShardedIngestor sharded(std::move(s.initial), s.train_anchors,
+                          std::move(s.initial_candidates), options);
+  ASSERT_TRUE(sharded.Start().ok());
+  for (ServeDelta& batch : s.batches) sharded.Submit(std::move(batch));
+  sharded.StartBackground();
+  sharded.Flush();
+  sharded.Stop();
+  ASSERT_TRUE(sharded.background_status().ok());
+
+  const IngestStats stats = sharded.stats();
+  EXPECT_EQ(stats.deltas_applied, batches);
+  EXPECT_EQ(stats.coalesced_batches, batches - 1);
+  EXPECT_EQ(stats.epochs_published, 2u);
+  EXPECT_EQ(sharded.backend().epoch(), 1u);
+  EXPECT_EQ(stats.full_factorisations, 2u);
+
+  // Twin: the same merged backlog through the deterministic path.
+  ShardedIngestor twin(std::move(s_copy.initial), s_copy.train_anchors,
+                       std::move(s_copy.initial_candidates), options);
+  ASSERT_TRUE(twin.Start().ok());
+  ASSERT_TRUE(
+      twin.ApplyOnce(MergeServeDeltas(std::move(s_copy.batches))).ok());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(Matrix::MaxAbsDiff(twin.shard(i).design(),
+                                 sharded.shard(i).design()),
+              0.0);
+    auto snap = sharded.shard_service(i).snapshot();
+    auto twin_snap = twin.shard_service(i).snapshot();
+    ASSERT_EQ(snap->size(), twin_snap->size());
+    for (size_t j = 0; j < snap->size(); ++j) {
+      EXPECT_EQ(snap->scores(j), twin_snap->scores(j));
+      EXPECT_EQ(snap->y(j), twin_snap->y(j));
+    }
+  }
+}
+
+TEST(CoalesceTest, PerDeltaPolicyKeepsOneEpochPerSubmit) {
+  DeltaStream s = CarvedStream(71);
+  const size_t batches = s.batches.size();
+
+  AlignmentService service;
+  // The deprecated signature maps to DrainPolicy::kPerDelta — exercise it
+  // deliberately until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  DeltaIngestor ingestor(std::move(s.initial), s.train_anchors,
+                         std::move(s.initial_candidates), &service,
+                         ServeOptions{});
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(ingestor.Start().ok());
+  EXPECT_EQ(ingestor.options().drain, DrainPolicy::kPerDelta);
+  for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
+  ingestor.StartBackground();
+  ingestor.Flush();
+  ingestor.Stop();
+  ASSERT_TRUE(ingestor.background_status().ok());
+
+  const IngestStats stats = ingestor.stats();
+  EXPECT_EQ(stats.deltas_applied, batches);
+  EXPECT_EQ(stats.coalesced_batches, 0u);
+  EXPECT_EQ(stats.epochs_published, batches + 1);
+  EXPECT_EQ(service.epoch(), batches);
+}
+
+TEST(CoalesceTest, MergePreservesSubmissionOrder) {
+  ServeDelta a;
+  a.new_candidates.emplace_back(1, 2);
+  ServeDelta graph_only;  // id-mode neutral
+  ServeDelta b;
+  b.new_candidates.emplace_back(3, 4);
+  b.new_candidates.emplace_back(5, 6);
+  ServeDelta merged = MergeServeDeltas(
+      {std::move(a), std::move(graph_only), std::move(b)});
+  ASSERT_EQ(merged.new_candidates.size(), 3u);
+  EXPECT_EQ(merged.new_candidates[0], std::make_pair(NodeId{1}, NodeId{2}));
+  EXPECT_EQ(merged.new_candidates[1], std::make_pair(NodeId{3}, NodeId{4}));
+  EXPECT_EQ(merged.new_candidates[2], std::make_pair(NodeId{5}, NodeId{6}));
+  EXPECT_TRUE(merged.candidate_ids.empty());
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,168 @@
+// ShardRouter in isolation, against hand-built fake backends: k-way merge
+// order, cross-shard tie-breaks, truncation, partition-respecting
+// ScorePair routing, min-epoch semantics and the all-or-nothing
+// FailedPrecondition before every shard has published.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/router.h"
+
+namespace activeiter {
+namespace {
+
+/// A shard that serves a fixed, pre-sorted result list.
+class FakeBackend : public QueryBackend {
+ public:
+  FakeBackend(std::vector<ScoredLink> links, uint64_t epoch)
+      : links_(std::move(links)), epoch_(epoch) {}
+
+  Result<std::vector<ScoredLink>> TopKFor(NodeId u1,
+                                          size_t k) const override {
+    if (epoch_ == kNoEpoch) {
+      return Status::FailedPrecondition("no epoch published");
+    }
+    std::vector<ScoredLink> out;
+    for (const ScoredLink& link : links_) {
+      if (link.u1 == u1 && out.size() < k) out.push_back(link);
+    }
+    return out;
+  }
+
+  Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const override {
+    if (epoch_ == kNoEpoch) {
+      return Status::FailedPrecondition("no epoch published");
+    }
+    for (const ScoredLink& link : links_) {
+      if (link.u1 == u1 && link.u2 == u2) return link;
+    }
+    return Status::NotFound("not a candidate here");
+  }
+
+  uint64_t epoch() const override { return epoch_; }
+
+ private:
+  std::vector<ScoredLink> links_;  // sorted: score desc, link_id asc
+  uint64_t epoch_;
+};
+
+ScoredLink Link(size_t id, NodeId u1, NodeId u2, double score) {
+  ScoredLink link;
+  link.link_id = id;
+  link.u1 = u1;
+  link.u2 = u2;
+  link.score = score;
+  return link;
+}
+
+TEST(ShardRouterTest, MergesAcrossShardsInServingOrder) {
+  // User 5's candidates live on both shards (a hashed/second-endpoint
+  // partition would do this; the merge must not assume single ownership).
+  FakeBackend shard0({Link(0, 5, 1, 0.9), Link(2, 5, 2, 0.5)}, 3);
+  FakeBackend shard1({Link(1, 5, 3, 0.7), Link(3, 5, 4, 0.1)}, 3);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&shard0, &shard1}, partition);
+
+  auto top = router.TopKFor(5, 10);
+  ASSERT_TRUE(top.ok());
+  std::vector<size_t> ids;
+  for (const ScoredLink& link : top.value()) ids.push_back(link.link_id);
+  EXPECT_EQ(ids, (std::vector<size_t>{0, 1, 2, 3}));  // 0.9 0.7 0.5 0.1
+}
+
+TEST(ShardRouterTest, CrossShardTiesBreakByGlobalLinkId) {
+  FakeBackend shard0({Link(4, 7, 1, 0.5)}, 1);
+  FakeBackend shard1({Link(2, 7, 2, 0.5), Link(9, 7, 3, 0.5)}, 1);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&shard0, &shard1}, partition);
+
+  auto top = router.TopKFor(7, 3);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 3u);
+  EXPECT_EQ(top.value()[0].link_id, 2u);
+  EXPECT_EQ(top.value()[1].link_id, 4u);
+  EXPECT_EQ(top.value()[2].link_id, 9u);
+}
+
+TEST(ShardRouterTest, TruncatesToKAcrossShards) {
+  FakeBackend shard0({Link(0, 1, 1, 0.9), Link(2, 1, 2, 0.3)}, 1);
+  FakeBackend shard1({Link(1, 1, 3, 0.6)}, 1);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&shard0, &shard1}, partition);
+
+  auto top = router.TopKFor(1, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].link_id, 0u);
+  EXPECT_EQ(top.value()[1].link_id, 1u);
+}
+
+TEST(ShardRouterTest, UnknownUserMergesToEmpty) {
+  FakeBackend shard0({Link(0, 1, 1, 0.9)}, 1);
+  FakeBackend shard1({}, 1);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&shard0, &shard1}, partition);
+  auto top = router.TopKFor(99, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top.value().empty());
+}
+
+TEST(ShardRouterTest, ScorePairRoutesByPartition) {
+  // Plant the SAME (u1, u2) on both shards with different scores: the
+  // router must consult only the owning shard, proving it routes instead
+  // of scanning.
+  FakeBackend shard0({Link(0, 2, 3, 0.111)}, 1);
+  FakeBackend shard1({Link(1, 2, 3, 0.999)}, 1);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  partition.block_size = 2;  // u1=2 → block 1 → shard 1
+  ShardRouter router({&shard0, &shard1}, partition);
+
+  auto scored = router.ScorePair(2, 3);
+  ASSERT_TRUE(scored.ok());
+  EXPECT_EQ(scored.value().link_id, 1u);
+  EXPECT_DOUBLE_EQ(scored.value().score, 0.999);
+
+  // u1=0 → shard 0, which does not know (0, 7): NotFound propagates.
+  EXPECT_EQ(router.ScorePair(0, 7).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardRouterTest, EpochIsTheSlowestShard) {
+  FakeBackend shard0({}, 5);
+  FakeBackend shard1({}, 3);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&shard0, &shard1}, partition);
+  EXPECT_EQ(router.epoch(), 3u);
+}
+
+TEST(ShardRouterTest, UnpublishedShardMakesTheWholeAnswerUnready) {
+  FakeBackend ready({Link(0, 1, 1, 0.9)}, 2);
+  FakeBackend unready({}, QueryBackend::kNoEpoch);
+  ShardPartition partition;
+  partition.num_shards = 2;
+  ShardRouter router({&ready, &unready}, partition);
+
+  EXPECT_EQ(router.epoch(), QueryBackend::kNoEpoch);
+  EXPECT_EQ(router.TopKFor(1, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardRouterTest, SingleShardPassesThrough) {
+  FakeBackend only({Link(0, 1, 1, 0.9), Link(1, 1, 2, 0.4)}, 7);
+  ShardRouter router({&only}, ShardPartition{});
+  EXPECT_EQ(router.epoch(), 7u);
+  auto top = router.TopKFor(1, 5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].link_id, 0u);
+}
+
+}  // namespace
+}  // namespace activeiter

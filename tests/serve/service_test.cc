@@ -104,6 +104,61 @@ TEST(AlignmentServiceTest, PublishSwapsAtomicallyAndKeepsOldSnapshotAlive) {
   EXPECT_EQ(old_snapshot->size(), 1u);
 }
 
+std::shared_ptr<const ModelSnapshot> SnapshotWithGlobalIds(
+    const AlignedPair& pair, const CandidateLinkSet& candidates,
+    uint64_t epoch, std::vector<double> scores, std::vector<double> labels,
+    std::vector<size_t> global_ids) {
+  IncidenceIndex index(pair, candidates);
+  Vector s(scores.size());
+  Vector y(labels.size());
+  for (size_t i = 0; i < scores.size(); ++i) s(i) = scores[i];
+  for (size_t i = 0; i < labels.size(); ++i) y(i) = labels[i];
+  return std::make_shared<const ModelSnapshot>(
+      BuildSnapshot(epoch, index, std::move(s), std::move(y), Vector(2),
+                    std::move(global_ids)));
+}
+
+TEST(AlignmentServiceTest, ServesThroughTheQueryBackendInterface) {
+  // serve_cli and the examples hold the service only as a QueryBackend —
+  // the narrowed surface must answer identically through the base class.
+  AlignedPair pair = MakePair(2, 2);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);
+  candidates.Add(0, 1);
+  AlignmentService service;
+  service.Publish(SnapshotOf(pair, candidates, 2, {0.3, 0.8}, {0.0, 1.0}));
+
+  const QueryBackend& backend = service;
+  EXPECT_EQ(backend.epoch(), 2u);
+  auto top = backend.TopKFor(0, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 1u);
+  EXPECT_EQ(top.value()[0].link_id, 1u);
+  auto scored = backend.ScorePair(0, 0);
+  ASSERT_TRUE(scored.ok());
+  EXPECT_EQ(scored.value().score, 0.3);
+}
+
+TEST(AlignmentServiceTest, ExportsGlobalLinkIds) {
+  // A sharded snapshot maps local ids to global ones; every exported
+  // ScoredLink must carry the global id, and ordering ties break on it.
+  AlignedPair pair = MakePair(2, 3);
+  CandidateLinkSet candidates;
+  candidates.Add(0, 0);  // local 0 → global 4
+  candidates.Add(0, 1);  // local 1 → global 9
+  AlignmentService service;
+  service.Publish(SnapshotWithGlobalIds(pair, candidates, 0, {0.5, 0.5},
+                                        {1.0, 0.0}, {4, 9}));
+  auto top = service.TopKFor(0, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].link_id, 4u);
+  EXPECT_EQ(top.value()[1].link_id, 9u);
+  auto scored = service.ScorePair(0, 1);
+  ASSERT_TRUE(scored.ok());
+  EXPECT_EQ(scored.value().link_id, 9u);
+}
+
 TEST(AlignmentServiceDeathTest, EpochRegressionsDie) {
   AlignedPair pair = MakePair(1, 1);
   CandidateLinkSet candidates;

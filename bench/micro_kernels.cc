@@ -1,18 +1,32 @@
 // Micro-benchmarks of the kernels the experiments are built from:
 // SpGEMM / Hadamard (meta-diagram counting), ridge solve (step 1-1),
 // greedy and Hungarian selection (step 1-2), and full feature extraction.
+//
+// Two modes:
+//   * default — Google Benchmark CLI (filters, repetitions, etc.);
+//   * --record=PATH — hand-timed record of the blocked-kernel speedups
+//     (rank-k absorb vs sequential rank-1s, incremental SpGEMM vs full
+//     recompute with its measured crossover sweep, tiled dense Gram/solve)
+//     written as compact JSON. CI re-records it as BENCH_kernels.json; the
+//     committed copy is the PR's perf baseline.
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "src/align/greedy_selection.h"
 #include "src/align/hungarian.h"
 #include "src/common/rng.h"
+#include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/datagen/aligned_generator.h"
 #include "src/datagen/presets.h"
 #include "src/learn/ridge.h"
+#include "src/linalg/cholesky.h"
 #include "src/linalg/sparse_ops.h"
 #include "src/metadiagram/delta_features.h"
 #include "src/metadiagram/features.h"
@@ -233,6 +247,119 @@ BENCHMARK(BM_DeltaFeatureVsFullRebuild)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// Random SPD Gram-style matrix for the cholupdate benches.
+Matrix BenchSpd(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix b(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) b(i, j) = rng.Normal();
+  }
+  Matrix a = b.Gram();
+  a.AddDiagonal(1.0);
+  return a;
+}
+
+Matrix BenchPanel(size_t k, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix panel(k, d);
+  for (size_t t = 0; t < k; ++t) {
+    for (size_t i = 0; i < d; ++i) panel(t, i) = rng.Normal(0.0, 0.05);
+  }
+  return panel;
+}
+
+// One k-row panel absorbed into a d×d factor, either as one blocked
+// RankKUpdate sweep or as k sequential RankOneUpdates. Args {d, k,
+// blocked}; blocked = 0 rows carry the sequential baseline, so the
+// tracked JSON holds the speedup directly (bar: ≥4× at d=256, k=8).
+void BM_RankKUpdateVsSequential(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const bool blocked = state.range(2) != 0;
+  auto factor = CholeskyFactor::Factor(BenchSpd(d, 41));
+  if (!factor.ok()) {
+    state.SkipWithError("factorisation failed");
+    return;
+  }
+  Matrix panel = BenchPanel(k, d, 42);
+  for (auto _ : state) {
+    if (blocked) {
+      benchmark::DoNotOptimize(factor.value().RankKUpdate(panel, 1.0));
+    } else {
+      for (size_t t = 0; t < k; ++t) {
+        benchmark::DoNotOptimize(
+            factor.value().RankOneUpdate(panel.Row(t), 1.0));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_RankKUpdateVsSequential)
+    ->ArgNames({"d", "k", "blocked"})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 1})
+    ->Args({256, 32, 0})
+    ->Args({256, 32, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/// A mutated twin of `a`: `changed` random distinct rows each gain one
+/// extra entry. Returns the new matrix and the sorted changed-row list.
+std::pair<SparseMatrix, std::vector<uint32_t>> MutateRows(
+    const SparseMatrix& a, size_t changed, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> rows;
+  std::vector<bool> used(a.rows(), false);
+  while (rows.size() < changed) {
+    const uint32_t r = static_cast<uint32_t>(rng.UniformInt(a.rows()));
+    if (used[r]) continue;
+    used[r] = true;
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::vector<Triplet> trips;
+  trips.reserve(a.nnz() + changed);
+  a.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), v});
+  });
+  for (uint32_t r : rows) {
+    trips.push_back({r, static_cast<uint32_t>(rng.UniformInt(a.cols())),
+                     rng.UniformDouble() + 0.1});
+  }
+  return {SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(trips)),
+          rows};
+}
+
+// A delta touching `permille`/1000 of A's rows, folded into the cached
+// product A·B either by full SpGemm recompute or by SpGemmRowUpdate row
+// splicing. Args {n, permille, incremental}; the incremental = 0 rows are
+// the full-recompute baseline (bar: ≥5× at ≤1% changed rows).
+void BM_SpGemmRowUpdateVsFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t permille = static_cast<size_t>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  SparseMatrix a = RandomSparse(n, n, 16.0 / n, 43);
+  SparseMatrix b = RandomSparse(n, n, 16.0 / n, 44);
+  SparseMatrix base = SpGemm(a, b);
+  auto [a2, rows] =
+      MutateRows(a, std::max<size_t>(1, n * permille / 1000), 45);
+  for (auto _ : state) {
+    if (incremental) {
+      benchmark::DoNotOptimize(SpGemmRowUpdate(base, a2, b, rows));
+    } else {
+      benchmark::DoNotOptimize(SpGemm(a2, b));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_SpGemmRowUpdateVsFull)
+    ->ArgNames({"n", "permille", "incremental"})
+    ->Args({4096, 10, 0})
+    ->Args({4096, 10, 1})
+    ->Args({4096, 100, 0})
+    ->Args({4096, 100, 1})
+    ->Unit(benchmark::kMillisecond);
+
 struct SelectionFixture {
   AlignedPair pair;
   CandidateLinkSet candidates;
@@ -306,7 +433,191 @@ void BM_FeatureExtraction(benchmark::State& state) {
 BENCHMARK(BM_FeatureExtraction)->Arg(60)->Arg(200)->Unit(
     benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --record=PATH mode: hand-timed speedup record (BENCH_kernels.json).
+// ---------------------------------------------------------------------------
+
+/// Milliseconds for one invocation of `fn`, minimum over `trials` timed
+/// loops of `reps` calls each (min filters scheduler noise).
+template <typename Fn>
+double TimeMs(size_t trials, size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (size_t t = 0; t < trials; ++t) {
+    Stopwatch watch;
+    for (size_t r = 0; r < reps; ++r) fn();
+    best = std::min(best, watch.ElapsedMillis() / static_cast<double>(reps));
+  }
+  return best;
+}
+
+struct RankKRecord {
+  size_t d = 256;
+  size_t k = 8;
+  double sequential_ms = 0.0;
+  double blocked_ms = 0.0;
+  bool k1_bitwise = false;
+};
+
+RankKRecord RecordRankK() {
+  RankKRecord rec;
+  Matrix spd = BenchSpd(rec.d, 41);
+  Matrix panel = BenchPanel(rec.k, rec.d, 42);
+  auto seq = CholeskyFactor::Factor(spd);
+  auto blk = CholeskyFactor::Factor(spd);
+  // Both paths mutate their factor as real ingest does; the matrix only
+  // grows more positive definite, so timing stays representative.
+  rec.sequential_ms = TimeMs(5, 12, [&] {
+    for (size_t t = 0; t < rec.k; ++t) {
+      (void)seq.value().RankOneUpdate(panel.Row(t), 1.0);
+    }
+  });
+  rec.blocked_ms =
+      TimeMs(5, 12, [&] { (void)blk.value().RankKUpdate(panel, 1.0); });
+  // k = 1 bitwise contract, probed through LogDet.
+  auto one_a = CholeskyFactor::Factor(spd);
+  auto one_b = CholeskyFactor::Factor(spd);
+  Matrix row = BenchPanel(1, rec.d, 46);
+  (void)one_a.value().RankOneUpdate(row.Row(0), 1.0);
+  (void)one_b.value().RankKUpdate(row, 1.0);
+  rec.k1_bitwise = one_a.value().LogDet() == one_b.value().LogDet();
+  return rec;
+}
+
+struct SpliceRecord {
+  double fraction = 0.0;
+  size_t changed_rows = 0;
+  double full_ms = 0.0;
+  double incremental_ms = 0.0;
+  bool bitwise = false;
+};
+
+SpliceRecord RecordSplice(const SparseMatrix& a, const SparseMatrix& b,
+                          const SparseMatrix& base, double fraction,
+                          uint64_t seed) {
+  SpliceRecord rec;
+  rec.fraction = fraction;
+  const size_t n = a.rows();
+  rec.changed_rows = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  auto [a2, rows] = MutateRows(a, rec.changed_rows, seed);
+  SparseMatrix full = SpGemm(a2, b);
+  SparseMatrix spliced = SpGemmRowUpdate(base, a2, b, rows);
+  rec.bitwise = full.row_ptr() == spliced.row_ptr() &&
+                full.col_idx() == spliced.col_idx() &&
+                full.values() == spliced.values();
+  rec.full_ms = TimeMs(3, 2, [&] { (void)SpGemm(a2, b); });
+  rec.incremental_ms =
+      TimeMs(3, 2, [&] { (void)SpGemmRowUpdate(base, a2, b, rows); });
+  return rec;
+}
+
+int RunRecord(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  RankKRecord rank_k = RecordRankK();
+  std::fprintf(stderr,
+               "rank-k   d=%zu k=%zu: sequential %.3f ms, blocked %.3f ms "
+               "(%.2fx, k1_bitwise=%d)\n",
+               rank_k.d, rank_k.k, rank_k.sequential_ms, rank_k.blocked_ms,
+               rank_k.sequential_ms / rank_k.blocked_ms, rank_k.k1_bitwise);
+
+  const size_t n = 4096;
+  SparseMatrix a = RandomSparse(n, n, 16.0 / n, 43);
+  SparseMatrix b = RandomSparse(n, n, 16.0 / n, 44);
+  SparseMatrix base = SpGemm(a, b);
+  SpliceRecord one_percent = RecordSplice(a, b, base, 0.01, 45);
+  std::fprintf(stderr,
+               "spgemm   n=%zu 1%% rows: full %.3f ms, incremental %.3f ms "
+               "(%.2fx, bitwise=%d)\n",
+               n, one_percent.full_ms, one_percent.incremental_ms,
+               one_percent.full_ms / one_percent.incremental_ms,
+               one_percent.bitwise);
+
+  // Crossover sweep: where does splicing stop paying? The feature-engine
+  // default (FeatureExtractorOptions::spgemm_row_update_max_fraction)
+  // should sit at or below the measured crossover.
+  const double fractions[] = {0.002, 0.005, 0.01, 0.02, 0.05,
+                              0.1,   0.2,   0.3,  0.5};
+  std::vector<SpliceRecord> sweep;
+  double crossover = 1.0;  // fraction where incremental stops winning
+  for (double f : fractions) {
+    sweep.push_back(RecordSplice(a, b, base, f, 47));
+    const SpliceRecord& r = sweep.back();
+    std::fprintf(stderr, "  sweep fraction %.3f: %.2fx%s\n", f,
+                 r.full_ms / r.incremental_ms, r.bitwise ? "" : " (MISMATCH)");
+    if (r.incremental_ms >= r.full_ms && crossover == 1.0) {
+      crossover = f;
+    }
+  }
+
+  // Tiled dense kernels at ridge-engine shapes.
+  Matrix design = RidgeBenchDesign(8192, 30);
+  const double gram_ms = TimeMs(5, 4, [&] { (void)design.Gram(); });
+  Matrix spd = BenchSpd(256, 48);
+  auto factor = CholeskyFactor::Factor(spd);
+  Matrix rhs = BenchPanel(128, 256, 49).Transpose();  // 256×128 RHS block
+  const double solve_ms =
+      TimeMs(5, 4, [&] { (void)factor.value().SolveMatrix(rhs); });
+  std::fprintf(stderr,
+               "dense    gram 8192x30 %.3f ms, solve 256x128rhs %.3f ms\n",
+               gram_ms, solve_ms);
+
+  std::fprintf(out, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(out,
+               "  \"rank_k\": {\"d\": %zu, \"k\": %zu, \"sequential_ms\": "
+               "%.4f, \"blocked_ms\": %.4f, \"speedup\": %.2f, "
+               "\"k1_bitwise\": %s},\n",
+               rank_k.d, rank_k.k, rank_k.sequential_ms, rank_k.blocked_ms,
+               rank_k.sequential_ms / rank_k.blocked_ms,
+               rank_k.k1_bitwise ? "true" : "false");
+  std::fprintf(out,
+               "  \"spgemm_row_update\": {\"n\": %zu, \"avg_degree\": 16, "
+               "\"changed_fraction\": %.4f, \"changed_rows\": %zu, "
+               "\"full_ms\": %.4f, \"incremental_ms\": %.4f, \"speedup\": "
+               "%.2f, \"bitwise\": %s},\n",
+               n, one_percent.fraction, one_percent.changed_rows,
+               one_percent.full_ms, one_percent.incremental_ms,
+               one_percent.full_ms / one_percent.incremental_ms,
+               one_percent.bitwise ? "true" : "false");
+  std::fprintf(out, "  \"spgemm_crossover_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SpliceRecord& r = sweep[i];
+    std::fprintf(out,
+                 "    {\"fraction\": %.3f, \"full_ms\": %.4f, "
+                 "\"incremental_ms\": %.4f, \"speedup\": %.2f}%s\n",
+                 r.fraction, r.full_ms, r.incremental_ms,
+                 r.full_ms / r.incremental_ms,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"spgemm_crossover_fraction\": %.3f,\n", crossover);
+  std::fprintf(out,
+               "  \"dense\": {\"gram_rows\": 8192, \"gram_d\": 30, "
+               "\"gram_ms\": %.4f, \"solve_dim\": 256, \"solve_nrhs\": 128, "
+               "\"solve_ms\": %.4f}\n}\n",
+               gram_ms, solve_ms);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s (measured crossover fraction: %.3f)\n",
+               path.c_str(), crossover);
+  return 0;
+}
+
 }  // namespace
 }  // namespace activeiter
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--record=", 9) == 0) {
+      return activeiter::RunRecord(argv[i] + 9);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,7 +16,9 @@
 
 #include "bench/bench_common.h"
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "src/serve/delta_stream.h"
 #include "src/serve/shard.h"
@@ -57,18 +59,51 @@ int main() {
       return 1;
     }
 
+    // Watch the serving epoch concurrently with ingest: published epochs
+    // must only ever move forward (snapshot-swap serving, no rollbacks).
+    std::atomic<bool> watching{true};
+    std::atomic<size_t> epoch_regressions{0};
+    std::thread epoch_watcher([&] {
+      uint64_t last = ingestor.backend().epoch();
+      while (watching.load(std::memory_order_relaxed)) {
+        const uint64_t now = ingestor.backend().epoch();
+        if (now < last) epoch_regressions.fetch_add(1);
+        last = now;
+        std::this_thread::yield();
+      }
+    });
+
     Stopwatch watch;
     ingestor.StartBackground();
     for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
     ingestor.Flush();
     const double ingest_ms = watch.ElapsedMillis();
     ingestor.Stop();
+    watching.store(false);
+    epoch_watcher.join();
     if (!ingestor.background_status().ok()) {
       std::cerr << "ingest failed: " << ingestor.background_status() << "\n";
       return 1;
     }
 
     const IngestStats stats = ingestor.stats();
+    // Bookkeeping invariant: every applied delta beyond the coalesced ones
+    // publishes exactly one epoch on top of the epoch-0 Start() publish.
+    if (stats.deltas_applied - stats.coalesced_batches !=
+        stats.epochs_published - 1) {
+      std::cerr << "INVARIANT VIOLATED at " << num_shards
+                << " shards: deltas_applied(" << stats.deltas_applied
+                << ") - coalesced(" << stats.coalesced_batches
+                << ") != epochs_published(" << stats.epochs_published
+                << ") - 1\n";
+      return 1;
+    }
+    if (epoch_regressions.load() != 0) {
+      std::cerr << "INVARIANT VIOLATED at " << num_shards << " shards: "
+                << epoch_regressions.load()
+                << " serving-epoch regressions observed during ingest\n";
+      return 1;
+    }
     const size_t rows = stats.rows_appended + stats.rows_replaced;
     const double rows_per_s =
         ingest_ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ingest_ms

@@ -35,10 +35,17 @@ void RidgePrepared::UpdateGram(const Matrix& new_rows) {
   const size_t d = gram_.rows();
   ACTIVEITER_CHECK_MSG(new_rows.rows() == 0 || new_rows.cols() == d,
                        "UpdateGram row width mismatch");
-  for (size_t r = 0; r < new_rows.rows(); ++r) {
-    const double* row = new_rows.row_data(r);
-    for (size_t i = 0; i < d; ++i) {
-      for (size_t j = 0; j < d; ++j) gram_(i, j) += row[i] * row[j];
+  // One blocked pass over the k×d panel: each Gram row is loaded once and
+  // the k new rows fold into it with a contiguous axpy per row. Per entry
+  // (i, j) the rows still accumulate one at a time in ascending row order,
+  // so the incremental Gram stays bitwise-equal to the row-at-a-time
+  // update (and hence to a from-scratch x().Gram() rebuild).
+  for (size_t i = 0; i < d; ++i) {
+    double* g = gram_.row_data(i);
+    for (size_t r = 0; r < new_rows.rows(); ++r) {
+      const double* row = new_rows.row_data(r);
+      const double ri = row[i];
+      for (size_t j = 0; j < d; ++j) g[j] += ri * row[j];
     }
   }
 }
@@ -77,10 +84,10 @@ Status RidgeSolver::AbsorbAppendedRows(const Matrix& new_rows) {
   if (new_rows.rows() > 0 && new_rows.cols() != factor_.dim()) {
     return Status::InvalidArgument("absorbed rows have the wrong width");
   }
-  for (size_t r = 0; r < new_rows.rows(); ++r) {
-    ACTIVEITER_RETURN_IF_ERROR(factor_.RankOneUpdate(new_rows.Row(r), c_));
-  }
-  return Status::OK();
+  // One blocked rank-k sweep over the whole panel — bitwise-equal to a
+  // rank-1 update per row, but the factor is copied and traversed once per
+  // delta instead of once per appended row.
+  return factor_.RankKUpdate(new_rows, c_);
 }
 
 Status RidgeSolver::AbsorbReplacedRow(const Vector& old_row,

@@ -49,9 +49,12 @@ class RidgeSolver {
   Vector Predict(const Vector& w) const;
 
   /// Folds design rows appended after creation into the cached factor:
-  /// each row r adds c·rᵀr to I + cXᵀX, one O(d²) rank-1 update per row —
-  /// no refactorisation, no pass over X. Call after the rows were appended
-  /// to the design matrix (and UpdateGram was told about them).
+  /// the k-row block adds c·RᵀR to I + cXᵀX via one blocked rank-k
+  /// cholupdate sweep over the whole panel (bitwise-equal to the rank-1
+  /// update for k = 1, 1-ulp-per-rotation for larger blocks; one factor
+  /// traversal instead of k) — no refactorisation, no pass over X. Call
+  /// after the rows were appended to the design matrix (and UpdateGram was
+  /// told about them).
   Status AbsorbAppendedRows(const Matrix& new_rows);
 
   /// Folds an in-place overwrite of one design row into the factor: one

@@ -1,5 +1,6 @@
 #include "src/linalg/cholesky.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -47,33 +48,65 @@ Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
 Vector CholeskyFactor::Solve(const Vector& b) const {
   const size_t n = dim();
   ACTIVEITER_CHECK(b.size() == n);
-  // Forward substitution L z = b.
+  // Forward substitution L z = b: row i of L is read contiguously.
   Vector z(n);
   for (size_t i = 0; i < n; ++i) {
+    const double* l_row = l_.row_data(i);
     double acc = b(i);
-    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * z(k);
-    z(i) = acc / l_(i, i);
+    for (size_t k = 0; k < i; ++k) acc -= l_row[k] * z(k);
+    z(i) = acc / l_row[i];
   }
-  // Backward substitution Lᵀ x = z.
-  Vector x(n);
-  for (size_t ii = n; ii-- > 0;) {
-    double acc = z(ii);
-    for (size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x(k);
-    x(ii) = acc / l_(ii, ii);
+  // Backward substitution Lᵀ x = z, right-looking: once x(i) is final it is
+  // eliminated from every remaining equation via row i of L (contiguous),
+  // instead of gathering a strided column per output entry.
+  Vector x = std::move(z);
+  for (size_t i = n; i-- > 0;) {
+    const double* l_row = l_.row_data(i);
+    x(i) /= l_row[i];
+    const double xi = x(i);
+    for (size_t k = 0; k < i; ++k) x(k) -= l_row[k] * xi;
   }
   return x;
 }
 
 Matrix CholeskyFactor::SolveMatrix(const Matrix& b) const {
-  ACTIVEITER_CHECK(b.rows() == dim());
-  Matrix out(b.rows(), b.cols());
-  for (size_t j = 0; j < b.cols(); ++j) {
-    Vector col(b.rows());
-    for (size_t i = 0; i < b.rows(); ++i) col(i) = b(i, j);
-    Vector sol = Solve(col);
-    for (size_t i = 0; i < b.rows(); ++i) out(i, j) = sol(i);
+  const size_t n = dim();
+  ACTIVEITER_CHECK(b.rows() == n);
+  const size_t nrhs = b.cols();
+  Matrix x = b;
+  // Right-hand sides are independent, so the tile split cannot change any
+  // per-column arithmetic order; it only keeps the active n×tile panel of
+  // the working copy cache-resident while the substitutions stream rows of
+  // L over it. 64 columns ≈ half a 4 KiB page per matrix row.
+  constexpr size_t kRhsTile = 64;
+  for (size_t jb = 0; jb < nrhs; jb += kRhsTile) {
+    const size_t je = std::min(jb + kRhsTile, nrhs);
+    const size_t width = je - jb;
+    // Forward substitution L Z = B on the tile.
+    for (size_t i = 0; i < n; ++i) {
+      const double* l_row = l_.row_data(i);
+      double* x_i = x.row_data(i) + jb;
+      for (size_t k = 0; k < i; ++k) {
+        const double lik = l_row[k];
+        const double* x_k = x.row_data(k) + jb;
+        for (size_t j = 0; j < width; ++j) x_i[j] -= lik * x_k[j];
+      }
+      const double diag = l_row[i];
+      for (size_t j = 0; j < width; ++j) x_i[j] /= diag;
+    }
+    // Backward substitution Lᵀ X = Z, right-looking as in Solve().
+    for (size_t i = n; i-- > 0;) {
+      const double* l_row = l_.row_data(i);
+      double* x_i = x.row_data(i) + jb;
+      for (size_t j = 0; j < width; ++j) x_i[j] /= l_row[i];
+      for (size_t k = 0; k < i; ++k) {
+        const double lik = l_row[k];
+        double* x_k = x.row_data(k) + jb;
+        for (size_t j = 0; j < width; ++j) x_k[j] -= lik * x_i[j];
+      }
+    }
   }
-  return out;
+  return x;
 }
 
 Status CholeskyFactor::RankOneUpdate(const Vector& v, double sigma) {
@@ -111,6 +144,86 @@ Status CholeskyFactor::RankOneUpdate(const Vector& v, double sigma) {
   }
   l_ = std::move(l);
   total_rank_one_count.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status CholeskyFactor::RankKUpdate(const Matrix& panel, double sigma) {
+  const size_t n = dim();
+  const size_t k = panel.rows();
+  if (k > 0 && panel.cols() != n) {
+    return Status::InvalidArgument("rank-k update panel width mismatch");
+  }
+  if (k == 0 || sigma == 0.0) return Status::OK();
+  const double sign = sigma > 0.0 ? 1.0 : -1.0;
+  const double scale = std::sqrt(std::abs(sigma));
+  // The k rank-1 sweeps are interleaved column-by-column: rotation t at
+  // column j only modifies column j of L and panel vector t, and its
+  // coefficients depend only on the diagonal after rotations 0..t-1 of the
+  // same column and on w_t(j) after vector t's rotations at columns < j —
+  // all already final here. Applying rotations 0..k-1 to each element in
+  // ascending t order therefore reproduces the k sequential sweeps, while
+  // L is copied once and every element below the diagonal is loaded/stored
+  // once per panel instead of once per row.
+  //
+  // For k == 1 the arithmetic below is exactly RankOneUpdate's (divide
+  // form): bitwise-identical results. For k > 1 the per-element divides by
+  // c[t] — which throttle the sequential path on the divider unit — are
+  // replaced by multiplication with a hoisted reciprocal, so each element
+  // differs from the sequential sweep by at most one rounding per rotation
+  // (the 1-ulp-per-step contract).
+  //
+  // w is kept n×k (transposed) so the per-element rotation loop over t is
+  // contiguous.
+  std::vector<double> w(n * k);
+  for (size_t t = 0; t < k; ++t) {
+    const double* row = panel.row_data(t);
+    for (size_t i = 0; i < n; ++i) w[i * k + t] = scale * row[i];
+  }
+  Matrix l = l_;
+  std::vector<double> c(k), s(k), ss(k), inv_c(k);
+  for (size_t j = 0; j < n; ++j) {
+    // Coefficient pass: the k rotations of column j, off the diagonal only.
+    double ljj = l(j, j);
+    double* wj = &w[j * k];
+    for (size_t t = 0; t < k; ++t) {
+      const double wt = wj[t];
+      const double r2 = ljj * ljj + sign * wt * wt;
+      if (r2 <= 0.0 || !std::isfinite(r2)) {
+        return Status::InvalidArgument(
+            "rank-k downdate would make the matrix indefinite");
+      }
+      const double r = std::sqrt(r2);
+      c[t] = r / ljj;
+      s[t] = wt / ljj;
+      ss[t] = sign * s[t];
+      inv_c[t] = 1.0 / c[t];
+      ljj = r;
+    }
+    l(j, j) = ljj;
+    double* l_col = l.row_data(0) + j;  // column j, walked via stride n
+    if (k == 1) {
+      const double s0 = s[0], ss0 = ss[0], c0 = c[0];
+      for (size_t i = j + 1; i < n; ++i) {
+        const double lij = l_col[i * n];
+        double* wi = &w[i];
+        l_col[i * n] = (lij + ss0 * wi[0]) / c0;
+        wi[0] = (wi[0] - s0 * lij) / c0;
+      }
+    } else {
+      for (size_t i = j + 1; i < n; ++i) {
+        double lij = l_col[i * n];
+        double* wi = &w[i * k];
+        for (size_t t = 0; t < k; ++t) {
+          const double prev = lij;
+          lij = (prev + ss[t] * wi[t]) * inv_c[t];
+          wi[t] = (wi[t] - s[t] * prev) * inv_c[t];
+        }
+        l_col[i * n] = lij;
+      }
+    }
+  }
+  l_ = std::move(l);
+  total_rank_one_count.fetch_add(k, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -24,10 +24,18 @@ class CholeskyFactor {
   /// numerically positive definite.
   static Result<CholeskyFactor> Factor(const Matrix& a);
 
-  /// Solves A x = b for one right-hand side.
+  /// Solves A x = b for one right-hand side. Forward substitution is
+  /// left-looking (row i of L read contiguously); backward substitution is
+  /// right-looking — each finalised x(i) is eliminated from the remaining
+  /// equations using row i of L — so both passes stream rows instead of
+  /// striding down columns.
   Vector Solve(const Vector& b) const;
 
-  /// Solves A X = B column-by-column.
+  /// Solves A X = B for all columns of B in one blocked pass: the
+  /// substitution recurrences run over contiguous row panels of a working
+  /// copy of B, tiled so the active panel stays cache-resident. Per
+  /// right-hand side the arithmetic order is identical to Solve(), so the
+  /// result is bitwise-equal to solving column-by-column.
   Matrix SolveMatrix(const Matrix& b) const;
 
   /// log(det(A)) = 2·Σ log L_ii; used by tests as a factorisation probe.
@@ -41,6 +49,22 @@ class CholeskyFactor {
   /// mismatch or when a downdate would leave the matrix indefinite; the
   /// factor is untouched on failure.
   Status RankOneUpdate(const Vector& v, double sigma = 1.0);
+
+  /// Blocked rank-k update: after the call this factors A + sigma·PᵀP for
+  /// the k×dim panel P (row r of the panel is one rank-1 direction),
+  /// equivalent to k sequential RankOneUpdate(P.Row(r), sigma) calls. The
+  /// k rotation sweeps are interleaved column-by-column — a rotation at
+  /// column j only touches column j of L and its own panel vector — so the
+  /// factor is copied once instead of k times and each L element is loaded
+  /// and stored once per panel instead of once per row. For k == 1 the
+  /// result is BITWISE-equal to RankOneUpdate; for k > 1 the per-element
+  /// divides become hoisted-reciprocal multiplies (they would otherwise
+  /// saturate the divider unit exactly like the sequential path), bounding
+  /// the divergence to one extra rounding per rotation applied — the
+  /// 1-ulp-per-step contract pinned by the tests. All-or-nothing on
+  /// failure (dimension mismatch or an indefinite downdate), and counts k
+  /// towards TotalRankOneUpdateCount().
+  Status RankKUpdate(const Matrix& panel, double sigma = 1.0);
 
   /// Process-wide count of successful factorisations (relaxed atomic).
   /// Tests diff this around a code path to pin down exactly how many

@@ -91,11 +91,41 @@ Matrix Matrix::Gram(ThreadPool* pool) const {
   // Each task owns output rows [jb, je) of the upper triangle and scans the
   // design rows in the same i = 0..rows order as the serial build, so every
   // entry sums in the identical floating-point order regardless of pool.
+  //
+  // Rows are consumed in contiguous panels of 4 (one L1-resident tile of
+  // row-major storage), and the inner micro-kernel accumulates the panel's
+  // four contributions into each output entry with separate sequential
+  // adds — the per-entry floating-point order stays exactly ascending-i,
+  // so the tiling is bitwise-neutral while the k-loop vectorises over
+  // contiguous row data with no bounds-checked dispatch.
+  constexpr size_t kRowPanel = 4;
   ThreadPool::ParallelForRanges(pool, cols_, [&](size_t jb, size_t je) {
-    for (size_t i = 0; i < rows_; ++i) {
+    size_t i = 0;
+    for (; i + kRowPanel <= rows_; i += kRowPanel) {
+      const double* r0 = row_data(i);
+      const double* r1 = row_data(i + 1);
+      const double* r2 = row_data(i + 2);
+      const double* r3 = row_data(i + 3);
+      for (size_t j = jb; j < je; ++j) {
+        const double a0 = r0[j], a1 = r1[j], a2 = r2[j], a3 = r3[j];
+        // Zero contributions add exactly nothing (the accumulator is never
+        // -0.0), so skipping an all-zero panel column is bitwise-safe.
+        if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+        double* out_row = out.row_data(j);
+        for (size_t k = j; k < cols_; ++k) {
+          double acc = out_row[k];
+          acc += a0 * r0[k];
+          acc += a1 * r1[k];
+          acc += a2 * r2[k];
+          acc += a3 * r3[k];
+          out_row[k] = acc;
+        }
+      }
+    }
+    for (; i < rows_; ++i) {
       const double* a_row = row_data(i);
       for (size_t j = jb; j < je; ++j) {
-        double aj = a_row[j];
+        const double aj = a_row[j];
         if (aj == 0.0) continue;
         double* out_row = out.row_data(j);
         for (size_t k = j; k < cols_; ++k) out_row[k] += aj * a_row[k];

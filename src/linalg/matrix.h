@@ -82,7 +82,10 @@ class Matrix {
   /// Pooled Gram build: output columns are partitioned across the pool
   /// while every task walks the rows in order, so each entry accumulates
   /// in exactly the serial order — the result is bitwise-identical to
-  /// Gram() for any pool.
+  /// Gram() for any pool. Rows stream through a 4-row register-tiled
+  /// micro-kernel over raw contiguous panels; each panel row is still
+  /// added per-entry in ascending row order, so the tiling is
+  /// bitwise-neutral too.
   Matrix Gram(ThreadPool* pool) const;
 
   Matrix operator+(const Matrix& other) const;

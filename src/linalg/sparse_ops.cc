@@ -125,6 +125,115 @@ SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b,
   return StitchBlocks(rows, cols, std::move(blocks), pool);
 }
 
+SparseMatrix SpGemmRowUpdate(const SparseMatrix& base, const SparseMatrix& a,
+                             const SparseMatrix& b,
+                             const std::vector<uint32_t>& rows,
+                             ThreadPool* pool) {
+  ACTIVEITER_CHECK_MSG(a.cols() == b.rows(), "SpGemmRowUpdate shape mismatch");
+  ACTIVEITER_CHECK_MSG(base.rows() == a.rows() && base.cols() == b.cols(),
+                       "SpGemmRowUpdate base shape mismatch");
+  if (rows.empty()) return base;
+  for (size_t t = 0; t < rows.size(); ++t) {
+    ACTIVEITER_CHECK_MSG(
+        rows[t] < a.rows() && (t == 0 || rows[t - 1] < rows[t]),
+        "SpGemmRowUpdate rows must be sorted, unique and in range");
+  }
+
+  const size_t n = a.rows();
+  const size_t cols = b.cols();
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+  const auto& b_ptr = b.row_ptr();
+  const auto& b_col = b.col_idx();
+  const auto& b_val = b.values();
+
+  // Phase 1: recompute the listed rows with the Gustavson kernel — the
+  // identical per-row arithmetic SpGemm runs, so a recomputed row is
+  // bitwise the row a full product would produce.
+  struct FreshRow {
+    std::vector<uint32_t> cols;
+    std::vector<double> vals;
+  };
+  std::vector<FreshRow> fresh(rows.size());
+  ThreadPool::ParallelForRanges(pool, rows.size(), [&](size_t tb, size_t te) {
+    std::vector<double> accum(cols, 0.0);
+    std::vector<uint32_t> touched;
+    touched.reserve(256);
+    for (size_t t = tb; t < te; ++t) {
+      const size_t i = rows[t];
+      touched.clear();
+      for (size_t ka = a_ptr[i]; ka < a_ptr[i + 1]; ++ka) {
+        const size_t k = a_col[ka];
+        const double av = a_val[ka];
+        for (size_t kb = b_ptr[k]; kb < b_ptr[k + 1]; ++kb) {
+          const uint32_t j = b_col[kb];
+          if (accum[j] == 0.0) touched.push_back(j);
+          accum[j] += av * b_val[kb];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      FreshRow& out = fresh[t];
+      out.cols.reserve(touched.size());
+      out.vals.reserve(touched.size());
+      for (uint32_t j : touched) {
+        if (accum[j] != 0.0) {
+          out.cols.push_back(j);
+          out.vals.push_back(accum[j]);
+        }
+        accum[j] = 0.0;
+      }
+    }
+  });
+
+  // Phase 2: splice. Row pointers first, then bulk-copy the unchanged runs
+  // between recomputed rows straight out of base's CSR arrays.
+  const auto& base_ptr = base.row_ptr();
+  const auto& base_col = base.col_idx();
+  const auto& base_val = base.values();
+  std::vector<size_t> row_ptr(n + 1, 0);
+  {
+    size_t t = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t nnz = (t < rows.size() && rows[t] == i)
+                             ? fresh[t++].cols.size()
+                             : base_ptr[i + 1] - base_ptr[i];
+      row_ptr[i + 1] = row_ptr[i] + nnz;
+    }
+  }
+  std::vector<uint32_t> col_idx(row_ptr[n]);
+  std::vector<double> values(row_ptr[n]);
+  size_t t = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (t < rows.size() && rows[t] == i) {
+      const FreshRow& f = fresh[t];
+      if (!f.cols.empty()) {
+        std::memcpy(col_idx.data() + row_ptr[i], f.cols.data(),
+                    f.cols.size() * sizeof(uint32_t));
+        std::memcpy(values.data() + row_ptr[i], f.vals.data(),
+                    f.vals.size() * sizeof(double));
+      }
+      ++t;
+      ++i;
+      continue;
+    }
+    // Maximal run of unchanged rows [i, run_end): one contiguous copy.
+    const size_t run_end = t < rows.size() ? rows[t] : n;
+    const size_t count = base_ptr[run_end] - base_ptr[i];
+    if (count > 0) {
+      std::memcpy(col_idx.data() + row_ptr[i], base_col.data() + base_ptr[i],
+                  count * sizeof(uint32_t));
+      std::memcpy(values.data() + row_ptr[i], base_val.data() + base_ptr[i],
+                  count * sizeof(double));
+    }
+    i = run_end;
+  }
+  return SparseMatrix::FromCsrUnchecked(n, cols, std::move(row_ptr),
+                                        std::move(col_idx),
+                                        std::move(values));
+}
+
 SparseMatrix Transpose(const SparseMatrix& a, ThreadPool* pool) {
   const size_t rows = a.rows();
   const size_t cols = a.cols();

@@ -29,6 +29,22 @@ SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b,
 /// stable scatter) when `pool` is non-null; output is identical either way.
 SparseMatrix Transpose(const SparseMatrix& a, ThreadPool* pool = nullptr);
 
+/// Delta-bounded incremental SpGEMM. Recomputes only the output rows
+/// listed in `rows` (sorted, unique, < a.rows()) with the exact Gustavson
+/// per-row kernel of SpGemm and splices every other row unchanged from
+/// `base`, a previous product of shape a.rows() × b.cols() (pad it first
+/// when the universes grew). Because SpGemm's output rows are computed
+/// independently, the result is BITWISE-equal to SpGemm(a, b) whenever
+/// `rows` covers every row whose product could have changed — i.e. the
+/// rows of A that changed plus the rows of A that touch a changed row of
+/// B (recomputing an unchanged row is harmless, so any superset works).
+/// Cost: O(flops of the listed rows + nnz(base) splice copy) instead of
+/// the full product.
+SparseMatrix SpGemmRowUpdate(const SparseMatrix& base, const SparseMatrix& a,
+                             const SparseMatrix& b,
+                             const std::vector<uint32_t>& rows,
+                             ThreadPool* pool = nullptr);
+
 /// Elementwise (Hadamard) product; shapes must match (checked).
 /// Row-partitioned across `pool` when non-null; bitwise-identical results.
 SparseMatrix Hadamard(const SparseMatrix& a, const SparseMatrix& b,

@@ -1,10 +1,51 @@
 #include "src/metadiagram/delta_features.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/linalg/sparse_ops.h"
 
 namespace activeiter {
+namespace {
+
+/// Result of incrementally bringing one expression up to date: the new
+/// count matrix plus the sorted output rows that may differ from last
+/// epoch (a superset is fine — recomputing an unchanged row is harmless).
+struct IncResult {
+  std::shared_ptr<const SparseMatrix> matrix;
+  std::vector<uint32_t> changed;
+};
+
+/// Changed output rows of left·right: the left factor's changed rows plus
+/// every left row that reads a changed row of the right factor. One
+/// O(nnz(left)) mask scan — far below the product's flop count.
+std::vector<uint32_t> ChangedProductRows(const IncResult& left,
+                                         const IncResult& right) {
+  if (right.changed.empty()) return left.changed;
+  std::vector<uint8_t> mask(right.matrix->rows(), 0);
+  for (uint32_t r : right.changed) mask[r] = 1;
+  const auto& ptr = left.matrix->row_ptr();
+  const auto& col = left.matrix->col_idx();
+  std::vector<uint32_t> reached;
+  for (size_t i = 0; i < left.matrix->rows(); ++i) {
+    for (size_t k = ptr[i]; k < ptr[i + 1]; ++k) {
+      if (mask[col[k]]) {
+        reached.push_back(static_cast<uint32_t>(i));
+        break;
+      }
+    }
+  }
+  if (left.changed.empty()) return reached;
+  std::vector<uint32_t> merged;
+  merged.reserve(left.changed.size() + reached.size());
+  std::set_union(left.changed.begin(), left.changed.end(), reached.begin(),
+                 reached.end(), std::back_inserter(merged));
+  return merged;
+}
+
+}  // namespace
 
 DeltaFeatureExtractor::DeltaFeatureExtractor(
     const AlignedPair& pair, std::vector<AnchorLink> train_anchors,
@@ -61,6 +102,15 @@ void DeltaFeatureExtractor::NoteDelta(const PairDelta& delta) {
       dirty_tokens_.insert(StepRef::Rel(side, rel, true).Token());
       dirty_tokens_.insert(StepRef::Rel(side, rel, false).Token());
     }
+    // Record which adjacency rows each new edge touches: (src, dst) adds
+    // an entry in row src of the forward matrix and row dst of the
+    // backward one. These sets bound the incremental SpGEMM in Refresh().
+    for (const EdgeDelta& e : sides[s]->edges) {
+      changed_step_rows_[StepRef::Rel(side, e.relation, true).Token()]
+          .insert(static_cast<uint32_t>(e.src));
+      changed_step_rows_[StepRef::Rel(side, e.relation, false).Token()]
+          .insert(static_cast<uint32_t>(e.dst));
+    }
   }
   // Node growth (and the anchor matrices, whose user dimensions track it)
   // needs a context rebuild even when no cached product is dirtied.
@@ -74,17 +124,24 @@ std::vector<size_t> DeltaFeatureExtractor::Refresh() {
   auto new_ctx = std::make_unique<RelationContext>(*pair_, train_anchors_,
                                                    options_.pool);
   auto new_cache = std::make_unique<ProductPlanCache>();
+  std::vector<std::string> dirty_sigs;  // splice candidates, decided below
   if (cache_ != nullptr) {
     // Migrate survivors: drop step aliases (the new context re-serves
-    // them) and anything reachable from a dirty relation; pad the rest to
-    // the grown universes. Padding is exact — new nodes have no edges, so
-    // the padded product equals the recomputed one.
+    // them); pad everything clean to the grown universes. Padding is
+    // exact — new nodes have no edges, so the padded product equals the
+    // recomputed one. Entries reachable from a dirty relation are not
+    // dropped yet: the splicing pass below may still serve them by
+    // recomputing only the delta-reachable rows.
     cache_->ForEach([&](const std::string& sig,
                         const std::shared_ptr<const SparseMatrix>& m) {
       if (step_sigs_.count(sig) != 0) return;
       for (const std::string& token : dirty_tokens_) {
         if (sig.find(token) != std::string::npos) {
-          ++stats_.intermediates_dropped;
+          if (shape_of_sig_.count(sig) != 0) {
+            dirty_sigs.push_back(sig);
+          } else {
+            ++stats_.intermediates_dropped;
+          }
           return;
         }
       }
@@ -101,18 +158,40 @@ std::vector<size_t> DeltaFeatureExtractor::Refresh() {
       ++stats_.intermediates_migrated;
     });
   }
+  auto old_cache = std::move(cache_);
   ctx_ = std::move(new_ctx);
   cache_ = std::move(new_cache);
+
+  // Delta-bounded incremental pass: serve dirty chain products by splicing
+  // only the delta-reachable rows over last epoch's cache.
+  std::unordered_set<std::string> row_updated_roots;
+  if (old_cache != nullptr && !dirty_sigs.empty() &&
+      options_.spgemm_row_update_max_fraction > 0.0) {
+    row_updated_roots = RowUpdateDirtyRoots(*old_cache);
+  }
+  // Whatever the splicing pass did not rescue is dropped for real.
+  for (const std::string& sig : dirty_sigs) {
+    if (cache_->Peek(sig) == nullptr) ++stats_.intermediates_dropped;
+  }
   dirty_tokens_.clear();
+  changed_step_rows_.clear();
   pending_refresh_ = false;
 
+  // Row-updated diagrams count as dirty columns: their count matrices
+  // changed, and Dice proximity renormalises over global column sums, so
+  // their score tables must rebuild even though no chain re-ran in full.
   std::vector<size_t> dirty_columns;
   std::vector<bool> is_dirty(catalog_.size(), false);
   for (size_t k = 0; k < catalog_.size(); ++k) {
-    if (cache_->Peek(catalog_[k].Signature()) == nullptr) {
+    const std::string sig = catalog_[k].Signature();
+    if (cache_->Peek(sig) == nullptr) {
       dirty_columns.push_back(k);
       is_dirty[k] = true;
       ++stats_.diagrams_recomputed;
+    } else if (row_updated_roots.count(sig) != 0) {
+      dirty_columns.push_back(k);
+      is_dirty[k] = true;
+      ++stats_.diagrams_row_updated;
     } else {
       ++stats_.diagrams_reused;
     }
@@ -148,6 +227,163 @@ std::vector<size_t> DeltaFeatureExtractor::Refresh() {
   scores_ = std::move(computed);
   initialised_ = true;
   return dirty_columns;
+}
+
+std::unordered_set<std::string>
+DeltaFeatureExtractor::RowUpdateDirtyRoots(const ProductPlanCache& old_cache) {
+  const double max_fraction = options_.spgemm_row_update_max_fraction;
+  // Signature → incremental result for everything resolved this pass
+  // (clean adoptions get an empty changed set). Values are address-stable
+  // (node-based map), so IncResult pointers survive later insertions.
+  std::unordered_map<std::string, IncResult> memo;
+  std::unordered_set<std::string> failed;   // bailed to full recompute
+  std::unordered_set<std::string> spliced;  // stored into cache_ this pass
+
+  // Last epoch's product for `sig`, padded to the grown universes (exact:
+  // new nodes have no edges), or nullptr when the old cache never held it.
+  auto padded_base =
+      [&](const std::string& sig) -> std::shared_ptr<const SparseMatrix> {
+    auto m = old_cache.Peek(sig);
+    if (m == nullptr) return nullptr;
+    auto it = shape_of_sig_.find(sig);
+    if (it == shape_of_sig_.end()) return nullptr;
+    const Shape& shape = it->second;
+    return std::make_shared<SparseMatrix>(
+        m->PaddedTo(UniverseOf(shape.src_type, shape.src_side),
+                    UniverseOf(shape.dst_type, shape.dst_side)));
+  };
+
+  // Memo first, then the already-migrated (clean) entries of the new
+  // cache; both carry no pending row changes beyond what memo recorded.
+  auto resolve = [&](const std::string& sig) -> const IncResult* {
+    auto it = memo.find(sig);
+    if (it != memo.end()) return &it->second;
+    if (auto m = cache_->Peek(sig)) {
+      return &memo.emplace(sig, IncResult{std::move(m), {}}).first->second;
+    }
+    return nullptr;
+  };
+
+  std::function<const IncResult*(const ExprPtr&)> eval =
+      [&](const ExprPtr& node) -> const IncResult* {
+    const std::string& sig = node->signature();
+    if (failed.count(sig) != 0) return nullptr;
+    if (const IncResult* hit = resolve(sig)) return hit;
+    switch (node->kind()) {
+      case DiagramNode::Kind::kStep: {
+        IncResult r;
+        // Non-owning alias, exactly as the evaluator serves steps; the
+        // context holds the *current* adjacency already.
+        r.matrix = std::shared_ptr<const SparseMatrix>(
+            std::shared_ptr<const void>(), &ctx_->Get(node->step()));
+        auto rows = changed_step_rows_.find(sig);
+        if (rows != changed_step_rows_.end()) {
+          r.changed.assign(rows->second.begin(), rows->second.end());
+          std::sort(r.changed.begin(), r.changed.end());
+        }
+        return &memo.emplace(sig, std::move(r)).first->second;
+      }
+      case DiagramNode::Kind::kChain: {
+        // Prefix walk mirroring DiagramEvaluator::EvaluateChain: adopt
+        // clean prefixes, splice dirty ones over last epoch's product.
+        const auto& children = node->children();
+        const IncResult* cur = eval(children.front());
+        if (cur == nullptr) {
+          failed.insert(sig);
+          return nullptr;
+        }
+        std::vector<std::string> sigs{children.front()->signature()};
+        for (size_t i = 1; i < children.size(); ++i) {
+          sigs.push_back(children[i]->signature());
+          const std::string prefix_sig = ChainSignature(sigs);
+          if (const IncResult* clean = resolve(prefix_sig)) {
+            cur = clean;
+            continue;
+          }
+          const IncResult* rhs = eval(children[i]);
+          if (rhs == nullptr) {
+            failed.insert(sig);
+            return nullptr;
+          }
+          IncResult next;
+          next.changed = ChangedProductRows(*cur, *rhs);
+          const size_t out_rows = cur->matrix->rows();
+          auto base = padded_base(prefix_sig);
+          if (base == nullptr ||
+              static_cast<double>(next.changed.size()) >
+                  max_fraction * static_cast<double>(out_rows)) {
+            failed.insert(sig);
+            return nullptr;
+          }
+          next.matrix = cache_->Store(
+              prefix_sig, std::make_shared<SparseMatrix>(
+                              SpGemmRowUpdate(*base, *cur->matrix,
+                                              *rhs->matrix, next.changed,
+                                              options_.pool)));
+          spliced.insert(prefix_sig);
+          ++stats_.intermediates_row_updated;
+          cur = &memo.emplace(prefix_sig, std::move(next)).first->second;
+        }
+        return cur;  // the last prefix signature IS the chain signature
+      }
+      case DiagramNode::Kind::kParallel: {
+        const auto& children = node->children();
+        std::vector<const IncResult*> parts;
+        parts.reserve(children.size());
+        for (const auto& c : children) {
+          const IncResult* r = eval(c);
+          if (r == nullptr) {
+            failed.insert(sig);
+            return nullptr;
+          }
+          parts.push_back(r);
+        }
+        // Refold the Hadamard stack in the evaluator's exact child order
+        // (elementwise, O(nnz) — far below any chain product). Changed
+        // rows of an elementwise product are a subset of the union of the
+        // branches' changed rows.
+        SparseMatrix m =
+            Hadamard(*parts[0]->matrix, *parts[1]->matrix, options_.pool);
+        for (size_t i = 2; i < parts.size(); ++i) {
+          m = Hadamard(m, *parts[i]->matrix, options_.pool);
+        }
+        IncResult r;
+        for (const IncResult* p : parts) {
+          if (p->changed.empty()) continue;
+          if (r.changed.empty()) {
+            r.changed = p->changed;
+            continue;
+          }
+          std::vector<uint32_t> merged;
+          merged.reserve(r.changed.size() + p->changed.size());
+          std::set_union(r.changed.begin(), r.changed.end(),
+                         p->changed.begin(), p->changed.end(),
+                         std::back_inserter(merged));
+          r.changed = std::move(merged);
+        }
+        r.matrix =
+            cache_->Store(sig, std::make_shared<SparseMatrix>(std::move(m)));
+        spliced.insert(sig);
+        ++stats_.intermediates_row_updated;
+        return &memo.emplace(sig, std::move(r)).first->second;
+      }
+    }
+    failed.insert(sig);
+    return nullptr;
+  };
+
+  std::unordered_set<std::string> served;
+  for (const auto& d : catalog_) {
+    const std::string sig = d.Signature();
+    // A root can already be spliced as a sub-expression of an earlier one
+    // (meta paths are branches of the fused diagrams); a Peek hit outside
+    // `spliced` is a clean migration and needs nothing.
+    if (spliced.count(sig) == 0 && cache_->Peek(sig) == nullptr) {
+      eval(d.root());
+    }
+    if (spliced.count(sig) != 0) served.insert(sig);
+  }
+  return served;
 }
 
 Matrix DeltaFeatureExtractor::Extract(const CandidateLinkSet& candidates) {

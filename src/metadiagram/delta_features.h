@@ -11,14 +11,21 @@
 //     ProductPlanCache, keyed by the same canonical expression signatures
 //     the evaluator uses;
 //   * a delta dirties exactly the step tokens of its touched relations
-//     ("1:follow>", "2:checkin<", ...); a cached intermediate is dropped
-//     iff its signature mentions a dirty token, padded to the grown node
-//     universes otherwise (new nodes have no edges yet, so padding with
-//     empty rows/columns IS the recomputed product);
+//     ("1:follow>", "2:checkin<", ...); a cached intermediate whose
+//     signature mentions no dirty token is padded to the grown node
+//     universes (new nodes have no edges yet, so padding with empty
+//     rows/columns IS the recomputed product);
+//   * a dirty intermediate is not necessarily lost either: the delta's
+//     edge endpoints bound which ROWS of each chain product can change, so
+//     Refresh() walks dirty chains prefix-by-prefix and recomputes only
+//     the delta-reachable output rows over last epoch's product
+//     (SpGemmRowUpdate — bitwise-equal to the full SpGEMM), falling back
+//     to the full chain recompute when the changed-row fraction exceeds
+//     FeatureExtractorOptions::spgemm_row_update_max_fraction;
 //   * a diagram whose root signature survives migration is served without
-//     touching a single kernel; dirty diagrams re-evaluate and hit the
-//     migrated cache for every clean sub-chain (the PR 1 reuse discipline
-//     extended across time).
+//     touching a single kernel; remaining dirty diagrams re-evaluate and
+//     hit the migrated cache for every clean or spliced sub-chain (the
+//     PR 1 reuse discipline extended across time).
 //
 // Extract() is bitwise-identical to a fresh FeatureExtractor over the
 // current pair: padding adds empty rows, and every recomputed product sees
@@ -50,10 +57,12 @@ class DeltaFeatureExtractor {
   /// Cumulative reuse accounting across Refresh() epochs.
   struct RefreshStats {
     size_t refreshes = 0;               // Refresh calls with pending work
-    size_t diagrams_recomputed = 0;     // columns whose DAG re-ran
+    size_t diagrams_recomputed = 0;     // columns whose DAG re-ran in full
     size_t diagrams_reused = 0;         // columns served from migration
+    size_t diagrams_row_updated = 0;    // columns served by row splicing
     size_t intermediates_dropped = 0;   // cache entries lost to dirty tokens
     size_t intermediates_migrated = 0;  // cache entries padded and kept
+    size_t intermediates_row_updated = 0;  // dirty entries spliced in place
   };
 
   /// `pair` must outlive the extractor and is observed through every
@@ -109,6 +118,13 @@ class DeltaFeatureExtractor {
   size_t UniverseOf(NodeType type, NetworkSide side) const;
   bool pending() const { return !initialised_ || pending_refresh_; }
 
+  /// Serves dirty catalog roots by row splicing (SpGemmRowUpdate) over the
+  /// previous epoch's cache where the delta's changed-row reach allows it;
+  /// returns the root signatures served this way (already stored in
+  /// cache_). `old_cache` is last epoch's (unpadded) intermediate store.
+  std::unordered_set<std::string> RowUpdateDirtyRoots(
+      const ProductPlanCache& old_cache);
+
   const AlignedPair* pair_;
   std::vector<AnchorLink> train_anchors_;
   FeatureExtractorOptions options_;
@@ -128,6 +144,12 @@ class DeltaFeatureExtractor {
   bool initialised_ = false;
   bool pending_refresh_ = false;
   std::unordered_set<std::string> dirty_tokens_;
+  // Step token → source rows of that step's adjacency changed by the
+  // pending deltas (an edge (src, dst) changes row src of the forward
+  // matrix and row dst of the backward one). Drives the delta-bounded
+  // incremental SpGEMM in Refresh(); cleared alongside dirty_tokens_.
+  std::unordered_map<std::string, std::unordered_set<uint32_t>>
+      changed_step_rows_;
   RefreshStats stats_;
 };
 

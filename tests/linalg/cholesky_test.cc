@@ -84,6 +84,31 @@ TEST(CholeskyTest, SolveMatrixColumns) {
   EXPECT_LT(residual.FrobeniusNorm(), 1e-8);
 }
 
+TEST(CholeskyTest, SolveMatrixBitwiseEqualsPerColumnSolve) {
+  // The multi-RHS solver tiles right-hand sides but keeps each column's
+  // arithmetic order identical to Solve(), so the results must be
+  // bit-for-bit equal — including widths beyond one RHS tile (64).
+  Matrix a = RandomSpd(9, 4);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  for (size_t m : {1u, 5u, 64u, 70u}) {
+    Matrix b(9, m);
+    Rng rng(5 + m);
+    for (size_t i = 0; i < 9; ++i) {
+      for (size_t j = 0; j < m; ++j) b(i, j) = rng.Normal();
+    }
+    Matrix x = factor.value().SolveMatrix(b);
+    for (size_t j = 0; j < m; ++j) {
+      Vector col(9);
+      for (size_t i = 0; i < 9; ++i) col(i) = b(i, j);
+      Vector single = factor.value().Solve(col);
+      for (size_t i = 0; i < 9; ++i) {
+        ASSERT_EQ(x(i, j), single(i)) << "m=" << m << " col=" << j;
+      }
+    }
+  }
+}
+
 /// Max |x_i − y_i| between two solve results.
 double SolveDiff(const CholeskyFactor& a, const CholeskyFactor& b,
                  const Vector& rhs) {
@@ -194,6 +219,171 @@ TEST(CholeskyRankOneTest, DoesNotCountAsFactorisation) {
   ASSERT_TRUE(factor.value().RankOneUpdate(v).ok());
   EXPECT_EQ(CholeskyFactor::TotalFactorCount(), factors_before);
   EXPECT_EQ(CholeskyFactor::TotalRankOneUpdateCount(), rank1_before + 1);
+}
+
+/// Random k×n update panel.
+Matrix RandomPanel(size_t k, size_t n, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  Matrix panel(k, n);
+  for (size_t t = 0; t < k; ++t) {
+    for (size_t i = 0; i < n; ++i) panel(t, i) = rng.Normal(0.0, scale);
+  }
+  return panel;
+}
+
+// Contract: bitwise-equal to RankOneUpdate for k = 1 (identical divide-form
+// arithmetic); for k > 1 the hoisted-reciprocal rotation adds at most one
+// rounding per rotation per element (1 ulp per step), so blocked and
+// sequential factors agree to a tight relative tolerance — probed through
+// Solve (a deterministic function of L) and LogDet.
+TEST(CholeskyRankKTest, SingleRowPanelIsBitwiseEqualToRankOne) {
+  const size_t n = 24;
+  Matrix a = RandomSpd(n, 61);
+  auto blocked = CholeskyFactor::Factor(a);
+  auto sequential = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_TRUE(sequential.ok());
+  Matrix panel = RandomPanel(1, n, 71);
+  ASSERT_TRUE(blocked.value().RankKUpdate(panel, 1.7).ok());
+  ASSERT_TRUE(sequential.value().RankOneUpdate(panel.Row(0), 1.7).ok());
+  EXPECT_EQ(blocked.value().LogDet(), sequential.value().LogDet());
+  Rng rng(81);
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  Vector xb = blocked.value().Solve(rhs);
+  Vector xs = sequential.value().Solve(rhs);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(xb(i), xs(i));
+}
+
+TEST(CholeskyRankKTest, MatchesSequentialRankOnesWithinUlpBounds) {
+  for (size_t k : {2u, 3u, 8u}) {
+    const size_t n = 24;
+    Matrix a = RandomSpd(n, 60 + k);
+    auto blocked = CholeskyFactor::Factor(a);
+    auto sequential = CholeskyFactor::Factor(a);
+    ASSERT_TRUE(blocked.ok());
+    ASSERT_TRUE(sequential.ok());
+    Matrix panel = RandomPanel(k, n, 70 + k);
+    const double sigma = 1.7;
+    ASSERT_TRUE(blocked.value().RankKUpdate(panel, sigma).ok());
+    for (size_t t = 0; t < k; ++t) {
+      ASSERT_TRUE(sequential.value().RankOneUpdate(panel.Row(t), sigma).ok());
+    }
+    // k·n rotations of ~1 ulp each stays far inside 1e-12 relative at
+    // these sizes; anything larger flags a real arithmetic divergence.
+    EXPECT_NEAR(blocked.value().LogDet(), sequential.value().LogDet(),
+                1e-12 * std::abs(sequential.value().LogDet()) + 1e-13);
+    Rng rng(80 + k);
+    Vector rhs(n);
+    for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+    Vector xb = blocked.value().Solve(rhs);
+    Vector xs = sequential.value().Solve(rhs);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(xb(i), xs(i), 1e-11 * (std::abs(xs(i)) + 1.0)) << "k=" << k;
+    }
+  }
+}
+
+TEST(CholeskyRankKTest, DowndateMatchesSequential) {
+  const size_t n = 16;
+  const size_t k = 4;
+  Matrix base = RandomSpd(n, 90);
+  Matrix panel = RandomPanel(k, n, 91, 0.3);
+  // Downdate A + PᵀP by the same panel: guaranteed to stay SPD.
+  Matrix plus = base;
+  for (size_t t = 0; t < k; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) plus(i, j) += panel(t, i) * panel(t, j);
+    }
+  }
+  auto blocked = CholeskyFactor::Factor(plus);
+  auto sequential = CholeskyFactor::Factor(plus);
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(blocked.value().RankKUpdate(panel, -1.0).ok());
+  for (size_t t = 0; t < k; ++t) {
+    ASSERT_TRUE(sequential.value().RankOneUpdate(panel.Row(t), -1.0).ok());
+  }
+  EXPECT_NEAR(blocked.value().LogDet(), sequential.value().LogDet(),
+              1e-11 * (std::abs(sequential.value().LogDet()) + 1.0));
+  // And both land back near the base factorisation.
+  auto refactored = CholeskyFactor::Factor(base);
+  ASSERT_TRUE(refactored.ok());
+  Rng rng(92);
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  EXPECT_LT(SolveDiff(blocked.value(), refactored.value(), rhs), 1e-9);
+}
+
+TEST(CholeskyRankKTest, UpdateMatchesRefactor) {
+  const size_t n = 20;
+  const size_t k = 6;
+  Matrix a = RandomSpd(n, 95);
+  Matrix panel = RandomPanel(k, n, 96);
+  const double sigma = 0.9;
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  ASSERT_TRUE(factor.value().RankKUpdate(panel, sigma).ok());
+  Matrix updated = a;
+  for (size_t t = 0; t < k; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        updated(i, j) += sigma * panel(t, i) * panel(t, j);
+      }
+    }
+  }
+  auto refactored = CholeskyFactor::Factor(updated);
+  ASSERT_TRUE(refactored.ok());
+  Rng rng(97);
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs(i) = rng.Normal();
+  EXPECT_LT(SolveDiff(factor.value(), refactored.value(), rhs), 1e-9);
+  EXPECT_NEAR(factor.value().LogDet(), refactored.value().LogDet(), 1e-9);
+}
+
+TEST(CholeskyRankKTest, EmptyPanelAndZeroSigmaAreNoOps) {
+  Matrix a = RandomSpd(5, 98);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const double before = factor.value().LogDet();
+  EXPECT_TRUE(factor.value().RankKUpdate(Matrix(0, 5)).ok());
+  EXPECT_TRUE(factor.value().RankKUpdate(Matrix(0, 0)).ok());
+  EXPECT_TRUE(factor.value().RankKUpdate(RandomPanel(3, 5, 99), 0.0).ok());
+  EXPECT_EQ(factor.value().LogDet(), before);
+}
+
+TEST(CholeskyRankKTest, RejectsWidthMismatch) {
+  Matrix a = RandomSpd(5, 100);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  EXPECT_FALSE(factor.value().RankKUpdate(RandomPanel(2, 4, 101)).ok());
+}
+
+TEST(CholeskyRankKTest, FailedDowndateLeavesFactorIntact) {
+  Matrix a = Matrix::Identity(3);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const double before = factor.value().LogDet();
+  // Second panel row drives the matrix indefinite; the first alone would
+  // succeed — all-or-nothing means neither may stick.
+  Matrix panel(2, 3);
+  panel(0, 0) = 0.1;
+  panel(1, 1) = 10.0;
+  auto st = factor.value().RankKUpdate(panel, -1.0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(factor.value().LogDet(), before);
+}
+
+TEST(CholeskyRankKTest, CountsKTowardsRankOneUpdates) {
+  Matrix a = RandomSpd(6, 102);
+  auto factor = CholeskyFactor::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
+  const uint64_t rank1_before = CholeskyFactor::TotalRankOneUpdateCount();
+  ASSERT_TRUE(factor.value().RankKUpdate(RandomPanel(5, 6, 103), 0.4).ok());
+  EXPECT_EQ(CholeskyFactor::TotalFactorCount(), factors_before);
+  EXPECT_EQ(CholeskyFactor::TotalRankOneUpdateCount(), rank1_before + 5);
 }
 
 // Property sweep over sizes: residuals stay small.

@@ -100,6 +100,29 @@ TEST(MatrixTest, PooledGramBitwiseEqualsSerial) {
   EXPECT_EQ(Matrix::MaxAbsDiff(serial, nested), 0.0);
 }
 
+TEST(MatrixTest, GramBitwiseMatchesPerEntryAscendingRowOrder) {
+  // The 4-row register-tiled panel kernel must preserve the per-entry
+  // accumulation order (ascending row index, one product added at a time),
+  // so it is bit-for-bit equal to the textbook loop — including row counts
+  // that are not a multiple of the panel height and rows of exact zeros
+  // (the all-zero-panel skip adds only ±0 terms, which never flip a +0
+  // accumulator).
+  for (size_t rows : {1u, 3u, 4u, 7u, 9u, 16u}) {
+    Matrix m = RandomMatrix(rows, 6, 11 + rows);
+    for (size_t j = 0; j < 6; ++j) {
+      if (rows > 2) m(2, j) = 0.0;  // an exact-zero row inside a panel
+    }
+    Matrix reference(6, 6);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < 6; ++j) {
+        for (size_t k = 0; k < 6; ++k) reference(j, k) += m(i, j) * m(i, k);
+      }
+    }
+    Matrix gram = m.Gram();
+    EXPECT_EQ(Matrix::MaxAbsDiff(gram, reference), 0.0) << "rows=" << rows;
+  }
+}
+
 TEST(MatrixTest, AddDiagonal) {
   Matrix m(3, 3);
   m.AddDiagonal(2.0);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace activeiter {
 namespace {
@@ -49,6 +50,128 @@ TEST(SpGemmTest, PathCountingSemantics) {
   auto two_step = SpGemm(adj, adj);
   EXPECT_EQ(two_step.nnz(), 1u);
   EXPECT_EQ(two_step.At(0, 2), 1.0);
+}
+
+void ExpectBitwiseEqual(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values(), b.values());  // bitwise: no tolerance
+}
+
+std::vector<Triplet> TripletsOf(const SparseMatrix& m) {
+  std::vector<Triplet> trips;
+  m.ForEach([&](size_t i, size_t j, double v) {
+    trips.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), v});
+  });
+  return trips;
+}
+
+/// Rows of `a` with at least one entry in a column of `changed_b_rows`
+/// (rows of the product a·b reached by a change confined to those b rows),
+/// merged with `changed_a_rows`.
+std::vector<uint32_t> ReachedRows(const SparseMatrix& a,
+                                  const std::vector<uint32_t>& changed_a_rows,
+                                  const std::vector<uint32_t>& changed_b_rows) {
+  std::vector<bool> mask(a.cols(), false);
+  for (uint32_t r : changed_b_rows) mask[r] = true;
+  std::vector<bool> out(a.rows(), false);
+  for (uint32_t r : changed_a_rows) out[r] = true;
+  a.ForEach([&](size_t i, size_t j, double) {
+    if (mask[j]) out[i] = true;
+  });
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    if (out[i]) rows.push_back(i);
+  }
+  return rows;
+}
+
+TEST(SpGemmRowUpdateTest, EmptyRowListReturnsBase) {
+  SparseMatrix a = RandomSparse(10, 8, 0.3, 21);
+  SparseMatrix b = RandomSparse(8, 6, 0.3, 22);
+  SparseMatrix base = SpGemm(a, b);
+  ExpectBitwiseEqual(SpGemmRowUpdate(base, a, b, {}), base);
+}
+
+TEST(SpGemmRowUpdateTest, BitwiseMatchesFullProductAfterRowChanges) {
+  SparseMatrix a = RandomSparse(30, 20, 0.2, 23);
+  SparseMatrix b = RandomSparse(20, 25, 0.2, 24);
+  SparseMatrix base = SpGemm(a, b);
+
+  // Mutate a handful of A rows: new entries in rows 3 and 17, all of row 9
+  // rescaled (so entries vanish from the product support too).
+  std::vector<Triplet> trips;
+  for (const Triplet& t : TripletsOf(a)) {
+    if (t.row == 9) continue;
+    trips.push_back(t);
+  }
+  trips.push_back({3, 0, 2.5});
+  trips.push_back({17, 19, -1.0});
+  trips.push_back({9, 4, 0.75});
+  SparseMatrix a2 = SparseMatrix::FromTriplets(30, 20, std::move(trips));
+
+  const std::vector<uint32_t> changed = {3, 9, 17};
+  ExpectBitwiseEqual(SpGemmRowUpdate(base, a2, b, changed), SpGemm(a2, b));
+}
+
+TEST(SpGemmRowUpdateTest, BSideChangesViaReachedRows) {
+  SparseMatrix a = RandomSparse(40, 30, 0.15, 25);
+  SparseMatrix b = RandomSparse(30, 35, 0.15, 26);
+  SparseMatrix base = SpGemm(a, b);
+
+  // Change two rows of B; every A row reading them must be recomputed.
+  std::vector<Triplet> trips = TripletsOf(b);
+  trips.push_back({5, 1, 3.0});
+  trips.push_back({28, 34, -0.5});
+  SparseMatrix b2 = SparseMatrix::FromTriplets(30, 35, std::move(trips));
+
+  std::vector<uint32_t> rows = ReachedRows(a, {}, {5, 28});
+  ExpectBitwiseEqual(SpGemmRowUpdate(base, a, b2, rows), SpGemm(a, b2));
+}
+
+TEST(SpGemmRowUpdateTest, SupersetRowListIsHarmless) {
+  SparseMatrix a = RandomSparse(20, 15, 0.25, 27);
+  SparseMatrix b = RandomSparse(15, 10, 0.25, 28);
+  SparseMatrix base = SpGemm(a, b);
+  std::vector<Triplet> trips = TripletsOf(a);
+  trips.push_back({7, 2, 1.5});
+  SparseMatrix a2 = SparseMatrix::FromTriplets(20, 15, std::move(trips));
+  // Every row listed: degenerates to a full recompute, still bitwise-equal.
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < 20; ++i) all.push_back(i);
+  ExpectBitwiseEqual(SpGemmRowUpdate(base, a2, b, all), SpGemm(a2, b));
+}
+
+TEST(SpGemmRowUpdateTest, GrownUniverseSplicesOverPaddedBase) {
+  // The delta-engine shape: universes grow, the old product is padded, the
+  // new rows (plus any reached old rows) are recomputed.
+  SparseMatrix a = RandomSparse(12, 9, 0.3, 29);
+  SparseMatrix b = RandomSparse(9, 7, 0.3, 30);
+  SparseMatrix base = SpGemm(a, b).PaddedTo(14, 7);
+  std::vector<Triplet> trips = TripletsOf(a);
+  trips.push_back({12, 0, 1.0});
+  trips.push_back({13, 8, 2.0});
+  SparseMatrix a2 = SparseMatrix::FromTriplets(14, 9, std::move(trips));
+  ExpectBitwiseEqual(SpGemmRowUpdate(base, a2, b, {12, 13}), SpGemm(a2, b));
+}
+
+TEST(SpGemmRowUpdateTest, PooledBitwiseMatchesSerial) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SparseMatrix a = RandomSparse(50, 40, 0.1, 31 + seed * 2);
+    SparseMatrix b = RandomSparse(40, 45, 0.1, 32 + seed * 2);
+    SparseMatrix base = SpGemm(a, b);
+    std::vector<Triplet> trips = TripletsOf(a);
+    trips.push_back({static_cast<uint32_t>(seed * 11 % 50), 3, 4.0});
+    SparseMatrix a2 = SparseMatrix::FromTriplets(50, 40, std::move(trips));
+    std::vector<uint32_t> rows = {static_cast<uint32_t>(seed * 11 % 50)};
+    SparseMatrix serial = SpGemmRowUpdate(base, a2, b, rows);
+    SparseMatrix pooled = SpGemmRowUpdate(base, a2, b, rows, &pool);
+    ExpectBitwiseEqual(serial, pooled);
+    ExpectBitwiseEqual(serial, SpGemm(a2, b));
+  }
 }
 
 TEST(TransposeTest, MatchesDense) {

@@ -97,12 +97,17 @@ TEST(DeltaFeatureTest, DeltaExtractionBitwiseMatchesFullRebuild) {
   ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
 
   // Only follow was touched: the attribute paths, Ψ2 and their shared
-  // intermediates must be served from migration, the follow chains dropped.
+  // intermediates must be served from migration; follow chains are either
+  // row-spliced in place (delta-bounded incremental SpGEMM) or dropped.
   const DeltaFeatureExtractor::RefreshStats& stats = extractor.stats();
   EXPECT_EQ(stats.refreshes, 2u);
   EXPECT_GT(stats.diagrams_reused, 0u);
   EXPECT_GT(stats.intermediates_migrated, 0u);
-  EXPECT_GT(stats.intermediates_dropped, 0u);
+  EXPECT_GT(stats.intermediates_dropped + stats.intermediates_row_updated, 0u);
+  // A handful of edges into a tiny graph sits far under the splicing
+  // threshold, so the incremental path must actually fire.
+  EXPECT_GT(stats.intermediates_row_updated, 0u);
+  EXPECT_GT(stats.diagrams_row_updated, 0u);
 }
 
 TEST(DeltaFeatureTest, AttributeOnlyDeltaKeepsSocialDiagramsClean) {
@@ -163,6 +168,74 @@ TEST(DeltaFeatureTest, NodeOnlyGrowthDirtiesNothing) {
   ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
   for (size_t k = 0; k + 1 < extractor.dimension(); ++k) {
     EXPECT_EQ(streamed(candidates.size() - 1, k), 0.0);
+  }
+}
+
+// Grow-then-grow: several edge batches in a row, each refreshed and
+// extracted, must stay bitwise-equal to a from-scratch rebuild at every
+// epoch — the spliced products of epoch t are the splice bases of t+1.
+TEST(DeltaFeatureTest, GrowThenGrowStreamBitwiseAtEveryEpoch) {
+  AlignedPair pair = TinyPair(11);
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 30, 12);
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const NodeId new_u1 =
+        static_cast<NodeId>(pair.first().NodeCount(NodeType::kUser));
+    PairDelta delta;
+    delta.first.nodes.push_back({NodeType::kUser, 1});
+    delta.first.edges.push_back(
+        {RelationType::kFollow, new_u1, static_cast<NodeId>(epoch)});
+    delta.first.edges.push_back(
+        {RelationType::kFollow, static_cast<NodeId>(epoch + 1), new_u1});
+    delta.second.edges.push_back(
+        {RelationType::kFollow, static_cast<NodeId>(epoch),
+         static_cast<NodeId>(epoch + 2)});
+    ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+    extractor.NoteDelta(delta);
+    candidates.Add(new_u1, static_cast<NodeId>(epoch));
+
+    Matrix streamed = extractor.Extract(candidates);
+    FeatureExtractor batch_extractor(pair, train);
+    ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+  }
+  EXPECT_GT(extractor.stats().intermediates_row_updated, 0u);
+  EXPECT_GT(extractor.stats().diagrams_row_updated, 0u);
+}
+
+// Fallback-threshold boundary: 0 disables splicing outright (every dirty
+// intermediate drops and recomputes), 1.0 splices whenever a base exists.
+// Both ends must stay bitwise-equal to the full rebuild.
+TEST(DeltaFeatureTest, SplicingThresholdBoundaries) {
+  for (double threshold : {0.0, 1.0}) {
+    AlignedPair pair = TinyPair(13);
+    std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+    CandidateLinkSet candidates = SomeCandidates(pair, 25, 14);
+    FeatureExtractorOptions options;
+    options.spgemm_row_update_max_fraction = threshold;
+    DeltaFeatureExtractor extractor(pair, train, options);
+    extractor.Extract(candidates);
+
+    PairDelta delta;
+    delta.first.edges.push_back({RelationType::kFollow, 0, 2});
+    delta.second.edges.push_back({RelationType::kFollow, 3, 1});
+    ASSERT_TRUE(pair.ApplyDelta(delta).ok());
+    extractor.NoteDelta(delta);
+
+    Matrix streamed = extractor.Extract(candidates);
+    FeatureExtractor batch_extractor(pair, train);
+    ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+
+    const DeltaFeatureExtractor::RefreshStats& stats = extractor.stats();
+    if (threshold == 0.0) {
+      EXPECT_EQ(stats.intermediates_row_updated, 0u);
+      EXPECT_EQ(stats.diagrams_row_updated, 0u);
+      EXPECT_GT(stats.intermediates_dropped, 0u);
+    } else {
+      EXPECT_GT(stats.intermediates_row_updated, 0u);
+    }
   }
 }
 

@@ -1,8 +1,8 @@
 // Drain-time coalescing: a backlog of B submits collapses into ONE
 // applied batch, one realign and one published epoch — and the resulting
 // model is BITWISE the one ApplyOnce(MergeServeDeltas(backlog)) builds.
-// The legacy DrainPolicy::kPerDelta (via the deprecated constructor)
-// keeps the one-epoch-per-submit cadence.
+// The legacy DrainPolicy::kPerDelta keeps the one-epoch-per-submit
+// cadence.
 
 #include <utility>
 #include <vector>
@@ -123,14 +123,10 @@ TEST(CoalesceTest, PerDeltaPolicyKeepsOneEpochPerSubmit) {
   const size_t batches = s.batches.size();
 
   AlignmentService service;
-  // The deprecated signature maps to DrainPolicy::kPerDelta — exercise it
-  // deliberately until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  IngestorOptions options;
+  options.drain = DrainPolicy::kPerDelta;
   DeltaIngestor ingestor(std::move(s.initial), s.train_anchors,
-                         std::move(s.initial_candidates), &service,
-                         ServeOptions{});
-#pragma GCC diagnostic pop
+                         std::move(s.initial_candidates), &service, options);
   ASSERT_TRUE(ingestor.Start().ok());
   EXPECT_EQ(ingestor.options().drain, DrainPolicy::kPerDelta);
   for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));

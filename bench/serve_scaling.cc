@@ -8,6 +8,14 @@
 // multi-core host the per-shard fan-out stacks wall-clock parallelism on
 // top. Flat-or-falling throughput from 1 → 4 shards is a regression.
 //
+// Every shard count runs TWICE: once with observability detached (the
+// production default — null sinks, one branch per instrument site) and
+// once with a fresh MetricsRegistry + Tracer attached. The gap between
+// the two is the all-in cost of the obs layer (contract: ≤5% ingest
+// throughput), and the attached run's tracer yields the per-stage
+// breakdown (drain/coalesce, plane refresh, per-shard realign, snapshot
+// publish) that --record=PATH writes into BENCH_serve.json.
+//
 // The workload mirrors the BENCH_serve.json record: candidate-heavy
 // (ACTIVEITER_NP_RATIO, default 40) so model work dominates the plane
 // refresh. Honors the usual bench env overrides plus:
@@ -18,13 +26,179 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/delta_stream.h"
 #include "src/serve/shard.h"
 
-int main() {
-  using namespace activeiter;
+namespace activeiter {
+namespace {
+
+using bench::BenchEnv;
+
+struct RunOut {
+  size_t rows = 0;
+  double ingest_ms = 0.0;
+  IngestStats stats;
+  bool ok = false;
+};
+
+/// One background-ingest run at a fixed shard count. Checks the epoch
+/// monotonicity and publish-accounting invariants; `obs` is forwarded to
+/// the ingestor (null sinks = the detached production configuration).
+RunOut RunOnce(const AlignedPair& pair, const BenchEnv& env, double np_ratio,
+               size_t batches, size_t num_shards, ObsSinks obs) {
+  RunOut out;
+  // Re-carve per run: ingest consumes the stream's deltas.
+  DeltaStreamOptions carve;
+  carve.num_batches = batches;
+  carve.initial_fraction = 0.5;
+  carve.np_ratio = np_ratio;
+  carve.seed = env.seed ^ 0x5EEDULL;
+  auto stream = CarveDeltaStream(pair, carve);
+  if (!stream.ok()) {
+    std::cerr << "carve failed: " << stream.status() << "\n";
+    return out;
+  }
+  DeltaStream& s = stream.value();
+
+  IngestorOptions options;
+  options.partition.num_shards = num_shards;
+  options.obs = obs;
+  ShardedIngestor ingestor(std::move(s.initial), s.train_anchors,
+                           std::move(s.initial_candidates), options);
+  if (Status st = ingestor.Start(); !st.ok()) {
+    std::cerr << "start failed: " << st << "\n";
+    return out;
+  }
+
+  // Watch the serving epoch concurrently with ingest: published epochs
+  // must only ever move forward (snapshot-swap serving, no rollbacks).
+  std::atomic<bool> watching{true};
+  std::atomic<size_t> epoch_regressions{0};
+  std::thread epoch_watcher([&] {
+    uint64_t last = ingestor.backend().epoch();
+    while (watching.load(std::memory_order_relaxed)) {
+      const uint64_t now = ingestor.backend().epoch();
+      if (now < last) epoch_regressions.fetch_add(1);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  Stopwatch watch;
+  ingestor.StartBackground();
+  for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
+  ingestor.Flush();
+  out.ingest_ms = watch.ElapsedMillis();
+  ingestor.Stop();
+  watching.store(false);
+  epoch_watcher.join();
+  if (!ingestor.background_status().ok()) {
+    std::cerr << "ingest failed: " << ingestor.background_status() << "\n";
+    return out;
+  }
+
+  out.stats = ingestor.stats();
+  // Bookkeeping invariant: every applied delta beyond the coalesced ones
+  // publishes exactly one epoch on top of the epoch-0 Start() publish.
+  if (out.stats.deltas_applied - out.stats.coalesced_batches !=
+      out.stats.epochs_published - 1) {
+    std::cerr << "INVARIANT VIOLATED at " << num_shards
+              << " shards: deltas_applied(" << out.stats.deltas_applied
+              << ") - coalesced(" << out.stats.coalesced_batches
+              << ") != epochs_published(" << out.stats.epochs_published
+              << ") - 1\n";
+    return out;
+  }
+  if (epoch_regressions.load() != 0) {
+    std::cerr << "INVARIANT VIOLATED at " << num_shards << " shards: "
+              << epoch_regressions.load()
+              << " serving-epoch regressions observed during ingest\n";
+    return out;
+  }
+  // Every submitted batch was applied or discarded, so an attached lag
+  // gauge must have settled back to zero.
+  if (obs.metrics != nullptr) {
+    const Gauge* lag = obs.metrics->FindGauge("serve.ingest.epoch_lag");
+    if (lag != nullptr && lag->value() != 0) {
+      std::cerr << "INVARIANT VIOLATED at " << num_shards
+                << " shards: epoch lag gauge is " << lag->value()
+                << " after Flush (want 0)\n";
+      return out;
+    }
+  }
+  out.rows = out.stats.rows_appended + out.stats.rows_replaced;
+  out.ok = true;
+  return out;
+}
+
+double RowsPerSec(const RunOut& r) {
+  return r.ingest_ms > 0.0
+             ? 1000.0 * static_cast<double>(r.rows) / r.ingest_ms
+             : 0.0;
+}
+
+struct ShardResult {
+  size_t num_shards = 0;
+  RunOut detached;
+  RunOut attached;
+  std::map<std::string, Tracer::StageTotal> stages;
+};
+
+bool WriteRecord(const std::string& path, const BenchEnv& env,
+                 double np_ratio, size_t batches,
+                 const std::vector<ShardResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"scale\": \"" << env.scale << "\",\n"
+      << "  \"seed\": " << env.seed << ",\n"
+      << "  \"batches\": " << batches << ",\n"
+      << "  \"np_ratio\": " << StrFormat("%.1f", np_ratio) << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShardResult& r = results[i];
+    const double detached = RowsPerSec(r.detached);
+    const double attached = RowsPerSec(r.attached);
+    const double overhead =
+        detached > 0.0 ? (detached - attached) / detached : 0.0;
+    out << "    {\"shards\": " << r.num_shards << ", \"rows\": " << r.detached.rows
+        << ",\n     \"ingest_ms_detached\": "
+        << StrFormat("%.3f", r.detached.ingest_ms)
+        << ", \"rows_per_sec_detached\": " << StrFormat("%.1f", detached)
+        << ",\n     \"ingest_ms_attached\": "
+        << StrFormat("%.3f", r.attached.ingest_ms)
+        << ", \"rows_per_sec_attached\": " << StrFormat("%.1f", attached)
+        << ",\n     \"obs_overhead_frac\": " << StrFormat("%.4f", overhead)
+        << ",\n     \"epochs_published\": " << r.detached.stats.epochs_published
+        << ", \"coalesced_batches\": " << r.detached.stats.coalesced_batches
+        << ", \"full_factorisations\": "
+        << r.detached.stats.full_factorisations << ",\n     \"stage_us\": {";
+    bool first = true;
+    for (const auto& [name, total] : r.stages) {
+      out << (first ? "\n" : ",\n") << "       \"" << name
+          << "\": {\"count\": " << total.count
+          << ", \"total_us\": " << StrFormat("%.1f", total.total_us) << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n     ") << "}}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+int Run(const std::string& record_path) {
   using namespace activeiter::bench;
   BenchEnv env = ReadEnv();
   const double np_ratio =
@@ -34,88 +208,70 @@ int main() {
               env);
   AlignedPair pair = MakePair(env);
 
-  std::cout << "shards  rows     ingest_ms  rows_per_s  epochs  coalesced\n";
+  std::cout << "shards  rows     ingest_ms  rows_per_s  obs_rows_per_s  "
+               "obs_ovh  epochs  coalesced\n";
   double base_rows_per_s = 0.0;
+  std::vector<ShardResult> results;
   for (size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
-    // Re-carve per run: ingest consumes the stream's deltas.
-    DeltaStreamOptions carve;
-    carve.num_batches = batches;
-    carve.initial_fraction = 0.5;
-    carve.np_ratio = np_ratio;
-    carve.seed = env.seed ^ 0x5EEDULL;
-    auto stream = CarveDeltaStream(pair, carve);
-    if (!stream.ok()) {
-      std::cerr << "carve failed: " << stream.status() << "\n";
+    ShardResult result;
+    result.num_shards = num_shards;
+    // Discarded warm-up: the first run at each shard count pays page
+    // faults and allocator growth that would otherwise be billed to the
+    // detached leg and make the obs overhead read negative.
+    if (!RunOnce(pair, env, np_ratio, batches, num_shards, ObsSinks{}).ok) {
       return 1;
     }
-    DeltaStream& s = stream.value();
+    result.detached =
+        RunOnce(pair, env, np_ratio, batches, num_shards, ObsSinks{});
+    if (!result.detached.ok) return 1;
 
-    IngestorOptions options;
-    options.partition.num_shards = num_shards;
-    ShardedIngestor ingestor(std::move(s.initial), s.train_anchors,
-                             std::move(s.initial_candidates), options);
-    if (Status st = ingestor.Start(); !st.ok()) {
-      std::cerr << "start failed: " << st << "\n";
-      return 1;
-    }
+    // Attached twin: fresh sinks per shard count so stage totals and
+    // counters are per-configuration, not cumulative.
+    MetricsRegistry registry;
+    Tracer tracer;
+    ObsSinks obs;
+    obs.metrics = &registry;
+    obs.tracer = &tracer;
+    result.attached =
+        RunOnce(pair, env, np_ratio, batches, num_shards, obs);
+    if (!result.attached.ok) return 1;
+    result.stages = tracer.StageTotals();
 
-    // Watch the serving epoch concurrently with ingest: published epochs
-    // must only ever move forward (snapshot-swap serving, no rollbacks).
-    std::atomic<bool> watching{true};
-    std::atomic<size_t> epoch_regressions{0};
-    std::thread epoch_watcher([&] {
-      uint64_t last = ingestor.backend().epoch();
-      while (watching.load(std::memory_order_relaxed)) {
-        const uint64_t now = ingestor.backend().epoch();
-        if (now < last) epoch_regressions.fetch_add(1);
-        last = now;
-        std::this_thread::yield();
-      }
-    });
-
-    Stopwatch watch;
-    ingestor.StartBackground();
-    for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
-    ingestor.Flush();
-    const double ingest_ms = watch.ElapsedMillis();
-    ingestor.Stop();
-    watching.store(false);
-    epoch_watcher.join();
-    if (!ingestor.background_status().ok()) {
-      std::cerr << "ingest failed: " << ingestor.background_status() << "\n";
-      return 1;
-    }
-
-    const IngestStats stats = ingestor.stats();
-    // Bookkeeping invariant: every applied delta beyond the coalesced ones
-    // publishes exactly one epoch on top of the epoch-0 Start() publish.
-    if (stats.deltas_applied - stats.coalesced_batches !=
-        stats.epochs_published - 1) {
-      std::cerr << "INVARIANT VIOLATED at " << num_shards
-                << " shards: deltas_applied(" << stats.deltas_applied
-                << ") - coalesced(" << stats.coalesced_batches
-                << ") != epochs_published(" << stats.epochs_published
-                << ") - 1\n";
-      return 1;
-    }
-    if (epoch_regressions.load() != 0) {
-      std::cerr << "INVARIANT VIOLATED at " << num_shards << " shards: "
-                << epoch_regressions.load()
-                << " serving-epoch regressions observed during ingest\n";
-      return 1;
-    }
-    const size_t rows = stats.rows_appended + stats.rows_replaced;
-    const double rows_per_s =
-        ingest_ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ingest_ms
-                        : 0.0;
-    if (num_shards == 1) base_rows_per_s = rows_per_s;
-    std::printf("%-7zu %-8zu %-10.1f %-11.0f %-7zu %zu\n", num_shards, rows,
-                ingest_ms, rows_per_s, stats.epochs_published,
-                stats.coalesced_batches);
+    const double detached = RowsPerSec(result.detached);
+    const double attached = RowsPerSec(result.attached);
+    if (num_shards == 1) base_rows_per_s = detached;
+    std::printf("%-7zu %-8zu %-10.1f %-11.0f %-15.0f %-8s %-7zu %zu\n",
+                num_shards, result.detached.rows, result.detached.ingest_ms,
+                detached, attached,
+                StrFormat("%.1f%%", detached > 0.0
+                                        ? 100.0 * (detached - attached) /
+                                              detached
+                                        : 0.0)
+                    .c_str(),
+                result.detached.stats.epochs_published,
+                result.detached.stats.coalesced_batches);
+    results.push_back(std::move(result));
   }
   std::cout << "# expected shape: rows_per_s non-decreasing in shard count\n"
             << "#   (superlinear realign split; plus parallel fan-out when\n"
             << "#   cores allow). 1-shard baseline: " << base_rows_per_s
-            << " rows/s.\n";
+            << " rows/s. obs_ovh is the attached-sinks throughput cost\n"
+            << "#   (contract: ~<=5% — noisy at tiny scales).\n";
+
+  if (!record_path.empty() &&
+      !WriteRecord(record_path, env, np_ratio, batches, results)) {
+    return 1;
+  }
   return 0;
+}
+
+}  // namespace
+}  // namespace activeiter
+
+int main(int argc, char** argv) {
+  std::string record_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--record=", 9) == 0) record_path = argv[i] + 9;
+  }
+  return activeiter::Run(record_path);
 }

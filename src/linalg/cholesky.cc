@@ -1,23 +1,41 @@
 #include "src/linalg/cholesky.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+
+#include "src/obs/metrics.h"
 
 namespace activeiter {
 namespace {
 
-std::atomic<uint64_t> total_factor_count{0};
-std::atomic<uint64_t> total_rank_one_count{0};
+// The old file-local atomics, migrated onto the default MetricsRegistry so
+// the serving stack's --metrics_json sees them for free. Each lookup runs
+// once (function-local static); every increment stays one relaxed atomic
+// add, exactly the previous cost.
+Counter& FactorCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.cholesky.factorisations");
+  return *counter;
+}
+
+Counter& RankOneCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.cholesky.rank_one_updates");
+  return *counter;
+}
+
+Counter& RankKPanelCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.cholesky.rank_k_panels");
+  return *counter;
+}
 
 }  // namespace
 
-uint64_t CholeskyFactor::TotalFactorCount() {
-  return total_factor_count.load(std::memory_order_relaxed);
-}
+uint64_t CholeskyFactor::TotalFactorCount() { return FactorCounter().value(); }
 
 uint64_t CholeskyFactor::TotalRankOneUpdateCount() {
-  return total_rank_one_count.load(std::memory_order_relaxed);
+  return RankOneCounter().value();
 }
 
 Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
@@ -41,7 +59,7 @@ Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
       l(i, j) = acc / ljj;
     }
   }
-  total_factor_count.fetch_add(1, std::memory_order_relaxed);
+  FactorCounter().Increment();
   return CholeskyFactor(std::move(l));
 }
 
@@ -143,7 +161,7 @@ Status CholeskyFactor::RankOneUpdate(const Vector& v, double sigma) {
     }
   }
   l_ = std::move(l);
-  total_rank_one_count.fetch_add(1, std::memory_order_relaxed);
+  RankOneCounter().Increment();
   return Status::OK();
 }
 
@@ -223,7 +241,8 @@ Status CholeskyFactor::RankKUpdate(const Matrix& panel, double sigma) {
     }
   }
   l_ = std::move(l);
-  total_rank_one_count.fetch_add(k, std::memory_order_relaxed);
+  RankOneCounter().Add(k);  // a panel still counts as its k directions
+  RankKPanelCounter().Increment();
   return Status::OK();
 }
 

@@ -4,9 +4,26 @@
 #include <cstring>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 
 namespace activeiter {
 namespace {
+
+// Incremental-SpGEMM accounting on the default registry: how many output
+// rows each SpGemmRowUpdate recomputed Gustavson-style vs memcpy-spliced
+// from the base product. The spliced:recomputed ratio is what makes the
+// delta-bounded path pay, so it is worth watching on a live run.
+Counter& SpGemmRowsRecomputed() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.spgemm.rows_recomputed");
+  return *counter;
+}
+
+Counter& SpGemmRowsSpliced() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.spgemm.rows_spliced");
+  return *counter;
+}
 
 // Number of contiguous row blocks a pooled kernel splits its work into.
 // Capped at 2× the worker count: each SpGemm block owns a dense accumulator
@@ -229,6 +246,8 @@ SparseMatrix SpGemmRowUpdate(const SparseMatrix& base, const SparseMatrix& a,
     }
     i = run_end;
   }
+  SpGemmRowsRecomputed().Add(rows.size());
+  SpGemmRowsSpliced().Add(n - rows.size());
   return SparseMatrix::FromCsrUnchecked(n, cols, std::move(row_ptr),
                                         std::move(col_idx),
                                         std::move(values));

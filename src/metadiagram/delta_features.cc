@@ -119,6 +119,7 @@ void DeltaFeatureExtractor::NoteDelta(const PairDelta& delta) {
 
 std::vector<size_t> DeltaFeatureExtractor::Refresh() {
   if (!pending()) return {};
+  const RefreshStats before = stats_;  // registry delta published at exit
   ++stats_.refreshes;
 
   auto new_ctx = std::make_unique<RelationContext>(*pair_, train_anchors_,
@@ -226,7 +227,50 @@ std::vector<size_t> DeltaFeatureExtractor::Refresh() {
   });
   scores_ = std::move(computed);
   initialised_ = true;
+  PublishRefreshStatsDelta(before);
   return dirty_columns;
+}
+
+// Per-instance accounting stays in stats_ (and behind the stats()
+// accessor, unchanged); the process-wide registry additionally carries the
+// sums across every live extractor, published once per Refresh as the diff
+// against entry — one relaxed add per field per refresh, nothing per row.
+void DeltaFeatureExtractor::PublishRefreshStatsDelta(
+    const RefreshStats& before) {
+  struct RegistryCounters {
+    Counter* refreshes;
+    Counter* diagrams_recomputed;
+    Counter* diagrams_reused;
+    Counter* diagrams_row_updated;
+    Counter* intermediates_dropped;
+    Counter* intermediates_migrated;
+    Counter* intermediates_row_updated;
+  };
+  static const RegistryCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    return RegistryCounters{
+        registry.GetCounter("metadiagram.refreshes"),
+        registry.GetCounter("metadiagram.diagrams_recomputed"),
+        registry.GetCounter("metadiagram.diagrams_reused"),
+        registry.GetCounter("metadiagram.diagrams_row_updated"),
+        registry.GetCounter("metadiagram.intermediates_dropped"),
+        registry.GetCounter("metadiagram.intermediates_migrated"),
+        registry.GetCounter("metadiagram.intermediates_row_updated"),
+    };
+  }();
+  counters.refreshes->Add(stats_.refreshes - before.refreshes);
+  counters.diagrams_recomputed->Add(stats_.diagrams_recomputed -
+                                    before.diagrams_recomputed);
+  counters.diagrams_reused->Add(stats_.diagrams_reused -
+                                before.diagrams_reused);
+  counters.diagrams_row_updated->Add(stats_.diagrams_row_updated -
+                                     before.diagrams_row_updated);
+  counters.intermediates_dropped->Add(stats_.intermediates_dropped -
+                                      before.intermediates_dropped);
+  counters.intermediates_migrated->Add(stats_.intermediates_migrated -
+                                       before.intermediates_migrated);
+  counters.intermediates_row_updated->Add(stats_.intermediates_row_updated -
+                                          before.intermediates_row_updated);
 }
 
 std::unordered_set<std::string>

@@ -48,13 +48,16 @@
 #include "src/metadiagram/features.h"
 #include "src/metadiagram/product_plan.h"
 #include "src/metadiagram/relation_matrices.h"
+#include "src/obs/metrics.h"
 
 namespace activeiter {
 
 /// Feature extraction that survives graph deltas.
 class DeltaFeatureExtractor {
  public:
-  /// Cumulative reuse accounting across Refresh() epochs.
+  /// Cumulative reuse accounting across Refresh() epochs. Per-instance;
+  /// the same fields are also summed across all extractors as
+  /// "metadiagram.*" counters on MetricsRegistry::Default().
   struct RefreshStats {
     size_t refreshes = 0;               // Refresh calls with pending work
     size_t diagrams_recomputed = 0;     // columns whose DAG re-ran in full
@@ -124,6 +127,10 @@ class DeltaFeatureExtractor {
   /// cache_). `old_cache` is last epoch's (unpadded) intermediate store.
   std::unordered_set<std::string> RowUpdateDirtyRoots(
       const ProductPlanCache& old_cache);
+
+  /// Adds this Refresh's stats_ movement (vs the entry snapshot) to the
+  /// process-wide "metadiagram.*" registry counters.
+  void PublishRefreshStatsDelta(const RefreshStats& before);
 
   const AlignedPair* pair_;
   std::vector<AnchorLink> train_anchors_;

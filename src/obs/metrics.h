@@ -1,0 +1,186 @@
+// MetricsRegistry: the lock-cheap metrics substrate of the serving stack.
+//
+// Three instrument kinds, all safe for any number of concurrent writers:
+//
+//   Counter    — monotone uint64 (relaxed atomic add). The migration home
+//                of the old ad-hoc process counters (Cholesky
+//                factorisations, SpGEMM splice accounting, diagram reuse).
+//   Gauge      — signed instantaneous level (relaxed atomic add/sub/set);
+//                e.g. the coordinator's epoch lag = submitted-but-
+//                unpublished ingest batches.
+//   Histogram  — fixed-bucket latency histogram. Record() is one binary
+//                search plus one relaxed atomic increment; Percentile()
+//                reads a consistent-enough snapshot (each bucket count is
+//                individually exact, the set is not cut atomically — fine
+//                for monitoring, documented for tests).
+//
+// Percentile contract: Percentile(q) returns the upper bound of the
+// bucket holding the rank-⌈q·N⌉ smallest sample (values ≤ bound land in
+// the bucket, so a sample recorded exactly AT a bucket boundary is
+// reported back exactly — the boundary-exactness property the unit tests
+// pin). Samples above the last bound fall into an overflow bucket whose
+// reported value is the maximum recorded sample.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex once per
+// name; the returned pointer is stable for the registry's lifetime, so
+// hot paths cache it and never touch the lock again. With no registry
+// attached (instrument pointers are null at the call sites) the layer
+// costs one branch — the contract that keeps ingest/query hot paths
+// unaffected when observability is off.
+//
+// MetricsRegistry::Default() is the process-wide registry the kernel
+// counters live on. Reset() zeroes every value but keeps all handles
+// valid (tools and tests re-use instruments across runs).
+
+#ifndef ACTIVEITER_OBS_METRICS_H_
+#define ACTIVEITER_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace activeiter {
+
+/// Monotone event count. Writers: relaxed atomic add from any thread.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Signed instantaneous level (queue depth, lag, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with exact-at-boundary percentile extraction.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive bucket upper bounds, strictly ascending
+  /// and non-empty (checked); an implicit overflow bucket follows.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Geometric 1 µs – 1 s ladder (1-2-5 per decade) — the default for
+  /// latency instruments recorded in microseconds.
+  static std::vector<double> DefaultLatencyBoundsUs();
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  /// Maximum recorded sample (-inf before the first Record).
+  double max() const;
+
+  /// Upper bound of the bucket holding the rank-⌈q·count⌉ smallest
+  /// sample; the overflow bucket reports max(). 0 when empty. q in [0,1].
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, parallel to bounds() plus the trailing overflow slot.
+  std::vector<uint64_t> bucket_counts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};  // CAS add (C++17 has no fetch_add)
+  std::atomic<double> max_;
+};
+
+/// Named instrument store. Registration locks; recording never does.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. The pointer is valid for the registry's
+  /// lifetime; callers cache it and write lock-free afterwards.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// An existing histogram is returned as-is (its original bounds win).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Already-registered instrument, or nullptr — read-side lookups that
+  /// must not create (tests, JSON asserts).
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, max, p50, p90, p99, buckets}}}.
+  /// Names are sorted, so output is deterministic given the same values.
+  void WriteJson(std::ostream& out) const;
+
+  /// Zeroes every value; all previously returned pointers stay valid.
+  void Reset();
+
+  /// The process-wide registry the kernel-layer counters publish to.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency probe: records microseconds from construction to scope
+/// exit into `hist`. A null histogram (the detached default) skips the
+/// clock reads entirely — one branch, nothing else.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      hist_->Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - begin_)
+                        .count());
+    }
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+/// The observability sinks an instrumented layer writes to. Null members
+/// mean "detached": instrument sites reduce to one branch and no clock
+/// reads, so hot paths are unaffected until a tool opts in.
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  class Tracer* tracer = nullptr;
+
+  bool attached() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_OBS_METRICS_H_

@@ -1,0 +1,123 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace activeiter {
+
+namespace {
+
+std::atomic<uint64_t> next_tracer_id{1};
+
+/// Thread-local cache of "my ring in tracer X". A thread that outlives
+/// one tracer and touches another re-resolves on the id mismatch; the
+/// rings themselves always belong to (and die with) their tracer.
+struct ThreadRingCache {
+  uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadRingCache tls_ring_cache;
+
+double MicrosBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      tracer_id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::Ring* Tracer::RingForThisThread() {
+  if (tls_ring_cache.tracer_id == tracer_id_) {
+    return static_cast<Ring*>(tls_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring* ring = rings_.back().get();
+  ring->events.reserve(ring_capacity_);
+  ring->tid = static_cast<uint32_t>(rings_.size());
+  tls_ring_cache = {tracer_id_, ring};
+  return ring;
+}
+
+void Tracer::Emit(const char* name,
+                  std::chrono::steady_clock::time_point begin,
+                  std::chrono::steady_clock::time_point end) {
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() >= ring_capacity_) {
+    ++ring->dropped;
+    return;
+  }
+  ring->events.push_back(
+      {name, MicrosBetween(epoch_, begin), MicrosBetween(begin, end)});
+}
+
+void Tracer::WriteJson(std::ostream& out) {
+  struct Flat {
+    Event event;
+    uint32_t tid;
+  };
+  std::vector<Flat> all;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      for (const Event& e : ring->events) all.push_back({e, ring->tid});
+      ring->events.clear();
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Flat& a, const Flat& b) {
+    return a.event.ts_us < b.event.ts_us;
+  });
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Flat& f = all[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << f.event.name
+        << "\", \"cat\": \"activeiter\", \"ph\": \"X\", \"ts\": "
+        << StrFormat("%.3f", f.event.ts_us)
+        << ", \"dur\": " << StrFormat("%.3f", f.event.dur_us)
+        << ", \"pid\": 1, \"tid\": " << f.tid << "}";
+  }
+  out << (all.empty() ? "" : "\n") << "]}\n";
+}
+
+size_t Tracer::buffered_events() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+std::map<std::string, Tracer::StageTotal> Tracer::StageTotals() const {
+  std::map<std::string, StageTotal> totals;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    for (const Event& e : ring->events) {
+      StageTotal& t = totals[e.name];
+      ++t.count;
+      t.total_us += e.dur_us;
+    }
+  }
+  return totals;
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+}  // namespace activeiter

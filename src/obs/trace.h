@@ -1,0 +1,139 @@
+// Tracer: scoped-span tracing that emits Chrome trace_event JSON.
+//
+// Usage (the only API hot paths touch):
+//
+//   TraceSpan span(sinks.tracer, "ingest.plane_refresh");
+//   ... stage work ...
+//   // span end recorded at scope exit
+//
+// A span with a null or disabled tracer costs one branch and reads no
+// clock. A live span reads the steady clock twice and appends one 32-byte
+// event to its thread's ring buffer under that ring's own mutex — the
+// mutex is only ever contended by WriteJson's drain, so recording is
+// effectively lock-free at stage granularity.
+//
+// Rings: one per (thread, tracer) pair, acquired on the thread's first
+// span and cached thread-locally; the tracer owns every ring, so events
+// survive the emitting thread (the shard fan-out spawns short-lived
+// threads per drain). A full ring drops further events and counts them —
+// a bounded-memory trace never stalls the pipeline it observes.
+//
+// WriteJson emits the Chrome trace_event "JSON object format":
+//   {"displayTimeUnit":"ms","traceEvents":[
+//     {"name":"ingest.drain","cat":"serve","ph":"X","ts":12.3,
+//      "dur":4.5,"pid":1,"tid":2}, ...]}
+// Load it in chrome://tracing or https://ui.perfetto.dev. Timestamps are
+// microseconds since the tracer's construction; tids are small dense ids
+// in ring-acquisition order. Span names must be string literals (the ring
+// stores the pointer, not a copy).
+
+#ifndef ACTIVEITER_OBS_TRACE_H_
+#define ACTIVEITER_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace activeiter {
+
+/// Collects spans from any number of threads; drained by WriteJson.
+class Tracer {
+ public:
+  /// `ring_capacity` is the per-thread event cap (events past it in one
+  /// thread are dropped and counted, never reallocated mid-run).
+  explicit Tracer(size_t ring_capacity = 1 << 15);
+  ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Tracers start enabled; a disabled tracer makes every span a no-op.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one complete ("ph":"X") event for the calling thread.
+  /// `name` must be a string literal (stored by pointer).
+  void Emit(const char* name,
+            std::chrono::steady_clock::time_point begin,
+            std::chrono::steady_clock::time_point end);
+
+  /// Drains every ring into Chrome trace_event JSON (events sorted by
+  /// start time). Safe to call repeatedly; events are consumed. Must not
+  /// race live spans — flush after workers are joined.
+  void WriteJson(std::ostream& out);
+
+  /// Events currently buffered across all rings (test/introspection aid).
+  size_t buffered_events() const;
+  /// Events lost to full rings since construction.
+  uint64_t dropped_events() const;
+
+  /// Count + total duration per span name over the currently buffered
+  /// events. Non-draining — the per-stage breakdown the serve bench
+  /// records without consuming the trace.
+  struct StageTotal {
+    uint64_t count = 0;
+    double total_us = 0.0;
+  };
+  std::map<std::string, StageTotal> StageTotals() const;
+
+ private:
+  struct Event {
+    const char* name;
+    double ts_us;   // span start, relative to tracer construction
+    double dur_us;  // span duration
+  };
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<Event> events;  // reserved to capacity up front
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+  };
+
+  Ring* RingForThisThread();
+
+  const size_t ring_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  const uint64_t tracer_id_;  // distinguishes thread-local ring caches
+  std::atomic<bool> enabled_{true};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span. Null tracer (the detached default) or a disabled tracer
+/// short-circuits to nothing.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name) : tracer_(nullptr) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer_ = tracer;
+      name_ = name;
+      begin_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Emit(name_, begin_, std::chrono::steady_clock::now());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace activeiter
+
+#endif  // ACTIVEITER_OBS_TRACE_H_

@@ -10,9 +10,20 @@ FeaturePlane::FeaturePlane(AlignedPair pair,
       extractor_(pair_, train_anchors_, std::move(options)) {}
 
 Status FeaturePlane::Apply(const PairDelta& delta) {
+  TraceSpan span(obs_.tracer, "ingest.plane_apply");
   ACTIVEITER_RETURN_IF_ERROR(pair_.ApplyDelta(delta));
   extractor_.NoteDelta(delta);
   return Status::OK();
+}
+
+std::vector<size_t> FeaturePlane::Refresh() {
+  TraceSpan span(obs_.tracer, "ingest.plane_refresh");
+  return extractor_.Refresh();
+}
+
+Matrix FeaturePlane::Extract(const CandidateLinkSet& candidates) {
+  TraceSpan span(obs_.tracer, "ingest.plane_extract");
+  return extractor_.Extract(candidates);
 }
 
 }  // namespace activeiter

@@ -30,6 +30,8 @@
 #include "src/graph/aligned_pair.h"
 #include "src/graph/incidence.h"
 #include "src/metadiagram/delta_features.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace activeiter {
 
@@ -50,6 +52,10 @@ class FeaturePlane {
     return train_anchors_;
   }
 
+  /// Attaches observability sinks (spans around Apply/Refresh/Extract).
+  /// Called by the owning ingestor before Start(); detached by default.
+  void set_obs(ObsSinks obs) { obs_ = obs; }
+
   /// Feature columns including the trailing bias.
   size_t dimension() const { return extractor_.dimension(); }
 
@@ -59,13 +65,11 @@ class FeaturePlane {
 
   /// Brings the proximity tables up to date; returns the dirty feature
   /// column indices, ascending (all columns on the first call).
-  std::vector<size_t> Refresh() { return extractor_.Refresh(); }
+  std::vector<size_t> Refresh();
 
   /// Full |H| × dimension() design matrix over `candidates` (runs
   /// Refresh() implicitly when pending). Writer-side only.
-  Matrix Extract(const CandidateLinkSet& candidates) {
-    return extractor_.Extract(candidates);
-  }
+  Matrix Extract(const CandidateLinkSet& candidates);
 
   /// Column k over `candidates` / one feature row. Pure reads of the
   /// refreshed tables — safe from any number of threads between writes.
@@ -82,6 +86,7 @@ class FeaturePlane {
   AlignedPair pair_;
   std::vector<AnchorLink> train_anchors_;
   DeltaFeatureExtractor extractor_;
+  ObsSinks obs_;
 };
 
 }  // namespace activeiter

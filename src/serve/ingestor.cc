@@ -99,6 +99,7 @@ ModelShard::ModelShard(CandidateLinkSet candidates,
 
 Status ModelShard::Start(FeaturePlane& plane) {
   if (started_) return Status::FailedPrecondition("already started");
+  TraceSpan span(options_.obs.tracer, "ingest.start");
   const uint64_t factors_before = CholeskyFactor::TotalFactorCount();
   x_ = plane.Extract(candidates_);
   index_ = std::make_unique<IncidenceIndex>(plane.pair(), candidates_);
@@ -132,9 +133,13 @@ Status ModelShard::Start(FeaturePlane& plane) {
 }
 
 Status ModelShard::Publish() {
-  auto result = aligner_.Align(*session_);
+  auto result = [&] {
+    TraceSpan span(options_.obs.tracer, "ingest.realign");
+    return aligner_.Align(*session_);
+  }();
   if (!result.ok()) return result.status();
   AlignmentResult& r = result.value();
+  TraceSpan span(options_.obs.tracer, "ingest.snapshot_publish");
   auto snap = std::make_shared<const ModelSnapshot>(
       BuildSnapshot(epoch_, *index_, std::move(r.scores), std::move(r.y),
                     std::move(r.w), global_ids_));
@@ -151,6 +156,7 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
                               const ServeDelta& slice,
                               size_t submitted_batches) {
   if (!started_) return Status::FailedPrecondition("Start() first");
+  TraceSpan slice_span(options_.obs.tracer, "ingest.apply_slice");
   // The global Cholesky counters are windowed per call; when shards of
   // one drain run concurrently the rank-1 window may include siblings'
   // updates, so rank_one_updates is exact in deterministic (ApplyOnce)
@@ -184,6 +190,7 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
   size_t replaced = 0;
   const size_t old_count = candidates_.size();
   if (!dirty_columns.empty() && old_count > 0) {
+    TraceSpan span(options_.obs.tracer, "ingest.replace_rows");
     std::vector<Vector> fresh;
     fresh.reserve(dirty_columns.size());
     for (size_t k : dirty_columns) {
@@ -207,24 +214,27 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
     }
   }
 
-  // New candidates: feature rows straight from the proximity tables.
-  Matrix new_rows(slice.new_candidates.size(), plane.dimension());
-  for (size_t r = 0; r < slice.new_candidates.size(); ++r) {
-    const auto& [u1, u2] = slice.new_candidates[r];
-    candidates_.Add(u1, u2);
-    const size_t global_id = slice.candidate_ids.empty()
-                                 ? next_global_id_
-                                 : slice.candidate_ids[r];
-    if (!global_ids_.empty() || !slice.candidate_ids.empty()) {
-      global_ids_.push_back(global_id);
+  {
+    // New candidates: feature rows straight from the proximity tables.
+    TraceSpan span(options_.obs.tracer, "ingest.append_rows");
+    Matrix new_rows(slice.new_candidates.size(), plane.dimension());
+    for (size_t r = 0; r < slice.new_candidates.size(); ++r) {
+      const auto& [u1, u2] = slice.new_candidates[r];
+      candidates_.Add(u1, u2);
+      const size_t global_id = slice.candidate_ids.empty()
+                                   ? next_global_id_
+                                   : slice.candidate_ids[r];
+      if (!global_ids_.empty() || !slice.candidate_ids.empty()) {
+        global_ids_.push_back(global_id);
+      }
+      next_global_id_ = global_id + 1;
+      Vector row = plane.RowFor(u1, u2);
+      for (size_t j = 0; j < row.size(); ++j) new_rows(r, j) = row(j);
     }
-    next_global_id_ = global_id + 1;
-    Vector row = plane.RowFor(u1, u2);
-    for (size_t j = 0; j < row.size(); ++j) new_rows(r, j) = row(j);
+    index_->SyncWithCandidates(plane.pair());
+    x_.AppendRows(new_rows);
+    ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbAppendedRows(old_count));
   }
-  index_->SyncWithCandidates(plane.pair());
-  x_.AppendRows(new_rows);
-  ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbAppendedRows(old_count));
 
   ++epoch_;
   ACTIVEITER_RETURN_IF_ERROR(Publish());
@@ -258,7 +268,13 @@ DeltaIngestor::DeltaIngestor(AlignedPair pair,
       plane_(std::move(pair), std::move(train_anchors),
              options_.serve.features),
       shard_(std::move(candidates), std::move(global_ids), service,
-             options_) {}
+             options_) {
+  plane_.set_obs(options_.obs);
+  if (options_.obs.metrics != nullptr) {
+    epoch_lag_ = options_.obs.metrics->GetGauge("serve.ingest.epoch_lag");
+    service->set_metrics(options_.obs.metrics);
+  }
+}
 
 // The deprecated signature keeps old call sites compiling with the exact
 // legacy semantics: one epoch per submitted batch.
@@ -307,6 +323,8 @@ void DeltaIngestor::StartBackground() {
 }
 
 void DeltaIngestor::Submit(ServeDelta delta) {
+  TraceSpan span(options_.obs.tracer, "ingest.submit");
+  if (epoch_lag_ != nullptr) epoch_lag_->Add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(delta));
@@ -360,14 +378,21 @@ void DeltaIngestor::WorkerLoop() {
       if (!background_status_.ok()) {
         // Sticky error: discard the batch, keep draining the queue.
         in_flight_ -= drained.size();
+        if (epoch_lag_ != nullptr) epoch_lag_->Sub(drained.size());
         if (queue_.empty()) idle_cv_.notify_all();
         continue;
       }
     }
     const size_t count = drained.size();
-    ServeDelta merged = count == 1 ? std::move(drained.front())
-                                   : MergeServeDeltas(std::move(drained));
+    ServeDelta merged = [&] {
+      TraceSpan span(options_.obs.tracer, "ingest.drain_coalesce");
+      return count == 1 ? std::move(drained.front())
+                        : MergeServeDeltas(std::move(drained));
+    }();
     Status applied = ApplyLocked(merged, count);
+    // Applied (or rejected with a sticky error) — either way these batches
+    // no longer lag behind the published epoch.
+    if (epoch_lag_ != nullptr) epoch_lag_->Sub(count);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!applied.ok() && background_status_.ok()) {

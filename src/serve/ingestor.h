@@ -60,6 +60,8 @@
 #include "src/graph/aligned_pair.h"
 #include "src/graph/incidence.h"
 #include "src/graph/partition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/feature_plane.h"
 #include "src/serve/service.h"
 
@@ -122,6 +124,14 @@ struct IngestorOptions {
   /// Default k for query front ends when the caller does not say (e.g.
   /// serve_cli --topk 0).
   size_t default_top_k = 10;
+  /// Observability sinks. Detached (null) by default: every instrument
+  /// site in the ingest/query pipeline reduces to one branch. When
+  /// attached, the write side emits a span per ingest stage
+  /// (submit → drain/coalesce → plane refresh → apply_slice → publish),
+  /// keeps the "serve.ingest.epoch_lag" gauge (submitted-but-unpublished
+  /// batches) current, and the services record per-query latency
+  /// histograms.
+  ObsSinks obs;
 };
 
 /// Cumulative ingest accounting (all fields monotone).
@@ -183,7 +193,7 @@ class ModelShard {
 
   CandidateLinkSet candidates_;
   AlignmentService* service_;
-  IngestorOptions options_;
+  IngestorOptions options_;  // options_.obs drives the stage spans below
 
   std::unique_ptr<IncidenceIndex> index_;
   Matrix x_;
@@ -277,6 +287,8 @@ class DeltaIngestor {
   IngestorOptions options_;
   FeaturePlane plane_;
   ModelShard shard_;
+  // Submitted-but-unpublished batches; null when metrics are detached.
+  Gauge* epoch_lag_ = nullptr;
 
   // Background queue.
   std::thread worker_;

@@ -28,8 +28,19 @@ ShardRouter::ShardRouter(std::vector<const QueryBackend*> shards,
   }
 }
 
+void ShardRouter::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    topk_latency_ = nullptr;
+    score_pair_latency_ = nullptr;
+    return;
+  }
+  topk_latency_ = metrics->GetHistogram("serve.router.topk_us");
+  score_pair_latency_ = metrics->GetHistogram("serve.router.score_pair_us");
+}
+
 Result<std::vector<ScoredLink>> ShardRouter::TopKFor(NodeId u1,
                                                      size_t k) const {
+  ScopedLatency latency(topk_latency_);
   // Gather each shard's sorted top-k. A shard that has not published yet
   // makes the whole answer FailedPrecondition — partial answers would
   // silently miss candidates.
@@ -69,6 +80,7 @@ Result<std::vector<ScoredLink>> ShardRouter::TopKFor(NodeId u1,
 }
 
 Result<ScoredLink> ShardRouter::ScorePair(NodeId u1, NodeId u2) const {
+  ScopedLatency latency(score_pair_latency_);
   return shards_[partition_.ShardOfFirstUser(u1)]->ScorePair(u1, u2);
 }
 

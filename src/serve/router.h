@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/graph/partition.h"
+#include "src/obs/metrics.h"
 #include "src/serve/backend.h"
 
 namespace activeiter {
@@ -54,9 +55,17 @@ class ShardRouter : public QueryBackend {
   /// Minimum shard epoch (kNoEpoch until every shard has published).
   uint64_t epoch() const override;
 
+  /// Attaches routed-query latency histograms ("serve.router.topk_us" /
+  /// "serve.router.score_pair_us" — fan-out + merge included, so the
+  /// router/service gap is the routing overhead). Call before readers
+  /// start; detached queries skip the clock reads.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   std::vector<const QueryBackend*> shards_;
   ShardPartition partition_;
+  Histogram* topk_latency_ = nullptr;
+  Histogram* score_pair_latency_ = nullptr;
 };
 
 }  // namespace activeiter

@@ -1,8 +1,19 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace activeiter {
+
+void AlignmentService::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    topk_latency_ = nullptr;
+    score_pair_latency_ = nullptr;
+    return;
+  }
+  topk_latency_ = metrics->GetHistogram("serve.query.topk_us");
+  score_pair_latency_ = metrics->GetHistogram("serve.query.score_pair_us");
+}
 
 std::shared_ptr<const ModelSnapshot> AlignmentService::snapshot() const {
   return std::atomic_load(&snapshot_);
@@ -25,6 +36,7 @@ void AlignmentService::Publish(std::shared_ptr<const ModelSnapshot> next) {
 
 Result<std::vector<ScoredLink>> AlignmentService::TopKFor(NodeId u1,
                                                           size_t k) const {
+  ScopedLatency latency(topk_latency_);
   auto snap = std::atomic_load(&snapshot_);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no snapshot published yet");
@@ -44,6 +56,7 @@ Result<std::vector<ScoredLink>> AlignmentService::TopKFor(NodeId u1,
 }
 
 Result<ScoredLink> AlignmentService::ScorePair(NodeId u1, NodeId u2) const {
+  ScopedLatency latency(score_pair_latency_);
   auto snap = std::atomic_load(&snapshot_);
   if (snap == nullptr) {
     return Status::FailedPrecondition("no snapshot published yet");

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/serve/backend.h"
 #include "src/serve/snapshot.h"
 
@@ -59,8 +60,16 @@ class AlignmentService : public QueryBackend {
   /// the pair is not a candidate in the published epoch.
   Result<ScoredLink> ScorePair(NodeId u1, NodeId u2) const override;
 
+  /// Attaches per-query latency histograms ("serve.query.topk_us" /
+  /// "serve.query.score_pair_us"). Call before readers start (the owning
+  /// ingestor does, at construction); detached queries skip the clock
+  /// reads entirely.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   std::shared_ptr<const ModelSnapshot> snapshot_;  // std::atomic_load/store
+  Histogram* topk_latency_ = nullptr;
+  Histogram* score_pair_latency_ = nullptr;
 };
 
 }  // namespace activeiter

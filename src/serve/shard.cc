@@ -28,6 +28,10 @@ ShardedIngestor::ShardedIngestor(AlignedPair pair,
       plane_(std::move(pair), std::move(train_anchors),
              options_.serve.features) {
   ACTIVEITER_CHECK(options_.partition.Validate().ok());
+  plane_.set_obs(options_.obs);
+  if (options_.obs.metrics != nullptr) {
+    epoch_lag_ = options_.obs.metrics->GetGauge("serve.ingest.epoch_lag");
+  }
   const size_t n = options_.partition.num_shards;
   next_global_id_ = candidates.size();
   std::vector<CandidateSlice> slices =
@@ -38,6 +42,7 @@ ShardedIngestor::ShardedIngestor(AlignedPair pair,
   backends.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     services_.push_back(std::make_unique<AlignmentService>());
+    services_.back()->set_metrics(options_.obs.metrics);
     shards_.push_back(std::make_unique<ModelShard>(
         std::move(slices[s].links), std::move(slices[s].global_ids),
         services_.back().get(), options_));
@@ -45,6 +50,7 @@ ShardedIngestor::ShardedIngestor(AlignedPair pair,
   }
   router_ =
       std::make_unique<ShardRouter>(std::move(backends), options_.partition);
+  router_->set_metrics(options_.obs.metrics);
 }
 
 ShardedIngestor::~ShardedIngestor() { Stop(); }
@@ -70,8 +76,10 @@ Status ShardedIngestor::ApplyMerged(const ServeDelta& merged,
       ValidateCandidateEndpoints(plane_.pair(), merged));
   ACTIVEITER_RETURN_IF_ERROR(plane_.Apply(merged.graph));
   const std::vector<size_t> dirty_columns = plane_.Refresh();
-  std::vector<ServeDelta> routed =
-      RouteServeDelta(merged, options_.partition, next_global_id_);
+  std::vector<ServeDelta> routed = [&] {
+    TraceSpan span(options_.obs.tracer, "ingest.route");
+    return RouteServeDelta(merged, options_.partition, next_global_id_);
+  }();
 
   std::vector<Status> applied(shards_.size(), Status::OK());
   if (parallel_shards && shards_.size() > 1) {
@@ -124,8 +132,10 @@ void ShardedIngestor::StartBackground() {
 }
 
 void ShardedIngestor::Submit(ServeDelta delta) {
+  TraceSpan span(options_.obs.tracer, "ingest.submit");
   ACTIVEITER_CHECK_MSG(delta.candidate_ids.empty(),
                        "incoming batches must not carry global link ids");
+  if (epoch_lag_ != nullptr) epoch_lag_->Add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(delta));
@@ -177,14 +187,21 @@ void ShardedIngestor::WorkerLoop() {
       if (!background_status_.ok()) {
         // Sticky error: discard the batch, keep draining the queue.
         in_flight_ -= drained.size();
+        if (epoch_lag_ != nullptr) epoch_lag_->Sub(drained.size());
         if (queue_.empty()) idle_cv_.notify_all();
         continue;
       }
     }
     const size_t count = drained.size();
-    ServeDelta merged = count == 1 ? std::move(drained.front())
-                                   : MergeServeDeltas(std::move(drained));
+    ServeDelta merged = [&] {
+      TraceSpan span(options_.obs.tracer, "ingest.drain_coalesce");
+      return count == 1 ? std::move(drained.front())
+                        : MergeServeDeltas(std::move(drained));
+    }();
     Status applied = ApplyMerged(merged, count, /*parallel_shards=*/true);
+    // Applied or sticky-discarded, the batches are no longer pending —
+    // the lag gauge must return to 0 either way.
+    if (epoch_lag_ != nullptr) epoch_lag_->Sub(count);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!applied.ok() && background_status_.ok()) {

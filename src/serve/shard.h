@@ -145,6 +145,8 @@ class ShardedIngestor {
 
   IngestorOptions options_;
   FeaturePlane plane_;
+  /// Submitted-but-unpublished batches; null when metrics are detached.
+  Gauge* epoch_lag_ = nullptr;
   std::vector<std::unique_ptr<AlignmentService>> services_;
   std::vector<std::unique_ptr<ModelShard>> shards_;
   std::unique_ptr<ShardRouter> router_;

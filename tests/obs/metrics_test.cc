@@ -1,0 +1,209 @@
+// MetricsRegistry contracts: percentile exactness at bucket boundaries,
+// overflow reporting, handle stability across Reset, deterministic JSON,
+// and counter/gauge/histogram aggregation under a many-writer hammer
+// (runs under TSan in CI — the obs layer must be clean there).
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace activeiter {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, TracksSignedLevel) {
+  Gauge g;
+  g.Add(5);
+  g.Sub(8);
+  EXPECT_EQ(g.value(), -3);
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, PercentileIsExactAtBucketBoundaries) {
+  // Samples recorded exactly AT a bucket's upper bound land in that
+  // bucket, so boundary samples are reported back exactly.
+  Histogram h({10.0, 20.0, 30.0});
+  h.Record(10.0);
+  h.Record(20.0);
+  h.Record(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 10.0);   // rank max(1,0) = 1
+  EXPECT_DOUBLE_EQ(h.Percentile(0.34), 20.0);  // rank ceil(1.02) = 2
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 20.0);   // rank 2
+  EXPECT_DOUBLE_EQ(h.Percentile(0.67), 30.0);  // rank ceil(2.01) = 3
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 30.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 30.0);
+}
+
+TEST(HistogramTest, MidBucketSamplesReportTheUpperBound) {
+  Histogram h({10.0, 20.0});
+  h.Record(3.0);
+  h.Record(14.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsTheMaximumSample) {
+  Histogram h({10.0});
+  h.Record(15.0);
+  h.Record(123.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 123.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 123.5);
+  EXPECT_DOUBLE_EQ(h.max(), 123.5);
+  const std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);  // one bound + overflow
+  EXPECT_EQ(buckets[0], 0u);
+  EXPECT_EQ(buckets[1], 2u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h(Histogram::DefaultLatencyBoundsUs());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SumAndResetKeepBookkeepingConsistent) {
+  Histogram h({1.0, 2.0});
+  h.Record(1.0);
+  h.Record(1.5);
+  h.Record(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.5);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.0);
+  h.Record(2.0);  // the instrument keeps working after Reset
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);
+}
+
+TEST(HistogramTest, DefaultLatencyLadderIsStrictlyAscending) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e6);  // 1 s in µs
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  Histogram* h = registry.GetHistogram("a.lat_us", {5.0, 10.0});
+  // Second Get keeps the original bounds (existing instrument wins).
+  EXPECT_EQ(registry.GetHistogram("a.lat_us", {1.0}), h);
+  ASSERT_EQ(h->bounds().size(), 2u);
+
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  EXPECT_EQ(registry.FindCounter("a.count"), c);
+
+  c->Add(3);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);  // zeroed, handle still valid
+  c->Increment();
+  EXPECT_EQ(registry.FindCounter("a.count")->value(), 1u);
+}
+
+TEST(RegistryTest, WriteJsonIsDeterministicAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Add(2);
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("lag")->Set(-4);
+  Histogram* h = registry.GetHistogram("q.lat_us", {10.0, 20.0});
+  h->Record(10.0);
+  h->Record(20.0);
+
+  std::ostringstream first, second;
+  registry.WriteJson(first);
+  registry.WriteJson(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string json = first.str();
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"lag\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"q.lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 20"), std::string::npos);
+  // Sorted: a.count before b.count.
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+}
+
+TEST(RegistryTest, ConcurrentWritersAggregateExactly) {
+  // The TSan hammer: many threads on the SAME instruments, plus
+  // registration races on the same names.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      Counter* c = registry.GetCounter("hammer.count");
+      Gauge* g = registry.GetGauge("hammer.level");
+      Histogram* h = registry.GetHistogram("hammer.lat_us", {10.0, 100.0});
+      for (int i = 0; i < kOps; ++i) {
+        c->Increment();
+        g->Add(2);
+        g->Sub(1);
+        h->Record(static_cast<double>(i % 150));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.FindCounter("hammer.count")->value(),
+            uint64_t{kThreads} * kOps);
+  EXPECT_EQ(registry.FindGauge("hammer.level")->value(),
+            int64_t{kThreads} * kOps);
+  const Histogram* h = registry.FindHistogram("hammer.lat_us");
+  EXPECT_EQ(h->count(), uint64_t{kThreads} * kOps);
+  EXPECT_DOUBLE_EQ(h->max(), 149.0);
+}
+
+TEST(ScopedLatencyTest, RecordsOnceAndSkipsNullHistogram) {
+  Histogram h(Histogram::DefaultLatencyBoundsUs());
+  {
+    ScopedLatency probe(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedLatency detached(nullptr);  // must not crash or record
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsSinksTest, DetachedByDefault) {
+  ObsSinks sinks;
+  EXPECT_FALSE(sinks.attached());
+  MetricsRegistry registry;
+  sinks.metrics = &registry;
+  EXPECT_TRUE(sinks.attached());
+}
+
+}  // namespace
+}  // namespace activeiter

@@ -1,0 +1,237 @@
+// Tracer contracts: spans from many threads land in per-thread rings,
+// WriteJson emits well-formed Chrome trace_event JSON (checked with a
+// minimal JSON parser, not substring poking), full rings drop-and-count
+// instead of stalling, and a disabled tracer is a no-op.
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace activeiter {
+namespace {
+
+// --- minimal JSON validator (objects/arrays/strings/numbers/literals) ---
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    for (++pos_; pos_ < text_.size(); ++pos_) {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+      } else if (text_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+        for (;;) {
+          SkipSpace();
+          if (!String()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+          ++pos_;
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+        return ++pos_, true;
+      }
+      case '[': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+        for (;;) {
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+        return ++pos_, true;
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TracerTest, EmptyTracerWritesValidEmptyTrace) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  EXPECT_TRUE(JsonScanner(out.str()).Valid()) << out.str();
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TracerTest, SpansFromManyThreadsProduceWellFormedJson) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan outer(&tracer, "test.outer");
+        TraceSpan inner(&tracer, "test.inner");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(tracer.buffered_events(), size_t{kThreads} * kSpans * 2);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+
+  const auto totals = tracer.StageTotals();
+  ASSERT_EQ(totals.count("test.outer"), 1u);
+  ASSERT_EQ(totals.count("test.inner"), 1u);
+  EXPECT_EQ(totals.at("test.outer").count, uint64_t{kThreads} * kSpans);
+  EXPECT_GE(totals.at("test.outer").total_us,
+            totals.at("test.inner").total_us);  // outer encloses inner
+
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""),
+            size_t{kThreads} * kSpans * 2);
+  EXPECT_EQ(CountOccurrences(json, "\"name\": \"test.outer\""),
+            size_t{kThreads} * kSpans);
+  // One dense tid per emitting thread.
+  for (int t = 1; t <= kThreads; ++t) {
+    EXPECT_NE(json.find("\"tid\": " + std::to_string(t)),
+              std::string::npos);
+  }
+
+  // WriteJson drains: a second flush is empty (and still valid JSON).
+  EXPECT_EQ(tracer.buffered_events(), 0u);
+  std::ostringstream empty;
+  tracer.WriteJson(empty);
+  EXPECT_TRUE(JsonScanner(empty.str()).Valid());
+  EXPECT_EQ(CountOccurrences(empty.str(), "\"ph\""), 0u);
+}
+
+TEST(TracerTest, FullRingDropsAndCountsInsteadOfGrowing) {
+  Tracer tracer(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&tracer, "test.drop");
+  }
+  EXPECT_EQ(tracer.buffered_events(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  EXPECT_TRUE(JsonScanner(out.str()).Valid());
+  EXPECT_EQ(CountOccurrences(out.str(), "\"ph\""), 4u);
+}
+
+TEST(TracerTest, DisabledTracerAndNullTracerAreNoOps) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  {
+    TraceSpan span(&tracer, "test.disabled");
+  }
+  EXPECT_EQ(tracer.buffered_events(), 0u);
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, "test.enabled");
+    TraceSpan detached(nullptr, "test.null");  // must not crash
+  }
+  EXPECT_EQ(tracer.buffered_events(), 1u);
+}
+
+TEST(TracerTest, EventsCarryNonNegativeMonotoneTimestamps) {
+  Tracer tracer;
+  {
+    TraceSpan a(&tracer, "test.first");
+  }
+  {
+    TraceSpan b(&tracer, "test.second");
+  }
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  const std::string json = out.str();
+  // Sorted by start time: first span's event precedes the second's.
+  EXPECT_LT(json.find("test.first"), json.find("test.second"));
+  EXPECT_EQ(json.find("\"ts\": -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace activeiter

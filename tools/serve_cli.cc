@@ -6,6 +6,7 @@
 //             [--query-threads N] [--queries-per-thread N] [--topk K]
 //             [--threads N] [--shards LIST] [--shard-block N]
 //             [--drain coalesce|per-delta] [--stats_json PATH]
+//             [--metrics_json PATH] [--trace_out PATH]
 //
 // For each shard count in `--shards` (comma-separated, e.g. "1,2,4") the
 // same carved workload runs once: a ShardedIngestor coordinator drains the
@@ -17,8 +18,14 @@
 // narrowed serve API.
 //
 // `--stats_json` writes one JSON document with per-shard-count ingest
-// throughput and query latency percentiles — the BENCH_serve.json record
-// CI captures on every PR so the serve-layer perf trajectory is visible.
+// throughput and query latency percentiles — the serve-layer perf record
+// CI captures on every PR so the trajectory is visible.
+//
+// `--metrics_json` attaches the process-wide MetricsRegistry to the
+// ingestors and dumps every counter/gauge/histogram (kernel counters
+// included) after the last run. `--trace_out` attaches a Tracer and
+// writes Chrome trace-event JSON covering every ingest stage — open it
+// at chrome://tracing or https://ui.perfetto.dev.
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +47,8 @@
 #include "src/common/thread_pool.h"
 #include "src/datagen/aligned_generator.h"
 #include "src/datagen/presets.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/backend.h"
 #include "src/serve/delta_stream.h"
 #include "src/serve/shard.h"
@@ -62,6 +71,8 @@ struct Flags {
   size_t shard_block = 1;
   std::string drain = "coalesce";
   std::string stats_json;
+  std::string metrics_json;
+  std::string trace_out;
 };
 
 bool ParseShardList(const std::string& list, std::vector<size_t>* out) {
@@ -117,6 +128,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->drain = v;
     } else if (arg == "--stats_json" && (v = next())) {
       flags->stats_json = v;
+    } else if (arg == "--metrics_json" && (v = next())) {
+      flags->metrics_json = v;
+    } else if (arg == "--trace_out" && (v = next())) {
+      flags->trace_out = v;
     } else {
       std::cerr << "unknown or incomplete flag: " << arg << "\n";
       return false;
@@ -160,7 +175,8 @@ double Percentile(std::vector<double>* sorted_in_place, double p) {
 
 /// One full workload run at a fixed shard count. Queries go through the
 /// QueryBackend surface only.
-RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool) {
+RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool,
+                  ObsSinks obs) {
   RunResult result;
   result.shard_count = shard_count;
 
@@ -213,6 +229,7 @@ RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool) {
                                              : DrainPolicy::kCoalesce;
   options.partition.num_shards = shard_count;
   options.partition.block_size = flags.shard_block;
+  options.obs = obs;
 
   ShardedIngestor ingestor(std::move(s.initial), s.train_anchors,
                            std::move(s.initial_candidates), options);
@@ -402,12 +419,44 @@ int Run(const Flags& flags) {
   std::unique_ptr<ThreadPool> pool;
   if (flags.threads > 1) pool = std::make_unique<ThreadPool>(flags.threads);
 
+  // Observability sinks, attached only when a dump path asks for them —
+  // detached runs stay on the zero-cost path. The metrics sink is the
+  // process-wide registry so the kernel counters (Cholesky, SpGEMM,
+  // diagram reuse) land in the same document as the serve metrics.
+  ObsSinks obs;
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.metrics_json.empty()) obs.metrics = &MetricsRegistry::Default();
+  if (!flags.trace_out.empty()) {
+    tracer = std::make_unique<Tracer>();
+    obs.tracer = tracer.get();
+  }
+
   std::vector<RunResult> runs;
   for (size_t shard_count : flags.shards) {
-    RunResult result = RunOnce(flags, shard_count, pool.get());
+    RunResult result = RunOnce(flags, shard_count, pool.get(), obs);
     if (!result.ok) return 1;
     PrintRun(result);
     runs.push_back(std::move(result));
+  }
+
+  if (obs.metrics != nullptr) {
+    std::ofstream out(flags.metrics_json);
+    if (!out) {
+      std::cerr << "cannot open " << flags.metrics_json << "\n";
+      return 1;
+    }
+    obs.metrics->WriteJson(out);
+    std::cout << "metrics dumped to " << flags.metrics_json << "\n";
+  }
+  if (tracer != nullptr) {
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.trace_out << "\n";
+      return 1;
+    }
+    tracer->WriteJson(out);
+    std::cout << "trace dumped to " << flags.trace_out
+              << " (open at chrome://tracing or ui.perfetto.dev)\n";
   }
 
   if (runs.size() > 1) {

@@ -5,8 +5,9 @@
 // Two modes:
 //   * default — Google Benchmark CLI (filters, repetitions, etc.);
 //   * --record=PATH — hand-timed record of the blocked-kernel speedups
-//     (rank-k absorb vs sequential rank-1s, incremental SpGEMM vs full
-//     recompute with its measured crossover sweep, tiled dense Gram/solve)
+//     (rank-k absorb vs sequential rank-1s, rank-k downdate vs refactor,
+//     incremental SpGEMM vs full recompute with its measured crossover
+//     sweep, tiled dense Gram/solve)
 //     written as compact JSON. CI re-records it as BENCH_kernels.json; the
 //     committed copy is the PR's perf baseline.
 
@@ -302,6 +303,43 @@ BENCHMARK(BM_RankKUpdateVsSequential)
     ->Args({256, 32, 1})
     ->Unit(benchmark::kMicrosecond);
 
+// The shrink-side twin of the absorb benches: a k-row panel LEAVING a d×d
+// factor, either through the blocked hyperbolic downdate or by
+// refactorising the shrunk Gram from scratch. The downdate rows alternate
+// +panel/−panel so the factor never drifts off its base matrix; the two
+// sweep directions cost identical arithmetic, so the per-iteration time IS
+// the per-panel downdate cost. refactor = 1 rows carry the rebuild
+// baseline, so the tracked JSON holds the speedup directly.
+void BM_DowndateVsRefactor(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const bool refactor = state.range(2) != 0;
+  Matrix spd = BenchSpd(d, 51);
+  auto factor = CholeskyFactor::Factor(spd);
+  if (!factor.ok()) {
+    state.SkipWithError("factorisation failed");
+    return;
+  }
+  Matrix panel = BenchPanel(k, d, 52);
+  double sigma = 1.0;
+  for (auto _ : state) {
+    if (refactor) {
+      benchmark::DoNotOptimize(CholeskyFactor::Factor(spd));
+    } else {
+      benchmark::DoNotOptimize(factor.value().RankKUpdate(panel, sigma));
+      sigma = -sigma;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_DowndateVsRefactor)
+    ->ArgNames({"d", "k", "refactor"})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 1})
+    ->Args({256, 32, 0})
+    ->Args({256, 32, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 /// A mutated twin of `a`: `changed` random distinct rows each gain one
 /// extra entry. Returns the new matrix and the sorted changed-row list.
 std::pair<SparseMatrix, std::vector<uint32_t>> MutateRows(
@@ -483,6 +521,40 @@ RankKRecord RecordRankK() {
   return rec;
 }
 
+struct DowndateRecord {
+  size_t d = 256;
+  size_t k = 8;
+  double refactor_ms = 0.0;
+  double downdate_ms = 0.0;
+  bool indefinite_rejected = false;
+};
+
+DowndateRecord RecordDowndate() {
+  DowndateRecord rec;
+  Matrix spd = BenchSpd(rec.d, 51);
+  Matrix panel = BenchPanel(rec.k, rec.d, 52);
+  auto factor = CholeskyFactor::Factor(spd);
+  rec.refactor_ms =
+      TimeMs(5, 12, [&] { (void)CholeskyFactor::Factor(spd); });
+  // +panel/−panel pairs keep the factor on its base matrix across reps;
+  // both sweep directions cost the same arithmetic, so half the pair time
+  // is the downdate cost.
+  const double pair_ms = TimeMs(5, 12, [&] {
+    (void)factor.value().RankKUpdate(panel, 1.0);
+    (void)factor.value().RankKUpdate(panel, -1.0);
+  });
+  rec.downdate_ms = pair_ms / 2.0;
+  // All-or-nothing contract: downdating mass that was never absorbed goes
+  // indefinite, fails, and leaves the factor untouched (LogDet probe).
+  const double logdet_before = factor.value().LogDet();
+  Matrix alien = BenchPanel(1, rec.d, 53);
+  for (size_t i = 0; i < rec.d; ++i) alien(0, i) *= 1.0e6;
+  rec.indefinite_rejected =
+      !factor.value().RankKUpdate(alien, -1.0).ok() &&
+      factor.value().LogDet() == logdet_before;
+  return rec;
+}
+
 struct SpliceRecord {
   double fraction = 0.0;
   size_t changed_rows = 0;
@@ -524,6 +596,15 @@ int RunRecord(const std::string& path) {
                "(%.2fx, k1_bitwise=%d)\n",
                rank_k.d, rank_k.k, rank_k.sequential_ms, rank_k.blocked_ms,
                rank_k.sequential_ms / rank_k.blocked_ms, rank_k.k1_bitwise);
+
+  DowndateRecord downdate = RecordDowndate();
+  std::fprintf(stderr,
+               "downdate d=%zu k=%zu: refactor %.3f ms, downdate %.3f ms "
+               "(%.2fx, indefinite_rejected=%d)\n",
+               downdate.d, downdate.k, downdate.refactor_ms,
+               downdate.downdate_ms,
+               downdate.refactor_ms / downdate.downdate_ms,
+               downdate.indefinite_rejected);
 
   const size_t n = 4096;
   SparseMatrix a = RandomSparse(n, n, 16.0 / n, 43);
@@ -574,6 +655,14 @@ int RunRecord(const std::string& path) {
                rank_k.d, rank_k.k, rank_k.sequential_ms, rank_k.blocked_ms,
                rank_k.sequential_ms / rank_k.blocked_ms,
                rank_k.k1_bitwise ? "true" : "false");
+  std::fprintf(out,
+               "  \"downdate\": {\"d\": %zu, \"k\": %zu, \"refactor_ms\": "
+               "%.4f, \"downdate_ms\": %.4f, \"speedup\": %.2f, "
+               "\"indefinite_rejected\": %s},\n",
+               downdate.d, downdate.k, downdate.refactor_ms,
+               downdate.downdate_ms,
+               downdate.refactor_ms / downdate.downdate_ms,
+               downdate.indefinite_rejected ? "true" : "false");
   std::fprintf(out,
                "  \"spgemm_row_update\": {\"n\": %zu, \"avg_degree\": 16, "
                "\"changed_fraction\": %.4f, \"changed_rows\": %zu, "

@@ -90,6 +90,18 @@ class AlignmentSession {
   /// untouched — only the features changed, not the label state.
   Status AbsorbReplacedRow(size_t row, const Vector& old_row);
 
+  /// Absorbs the REMOVAL of design rows `sorted_ids` (strictly increasing)
+  /// while they are still present in the design matrix: gathers their
+  /// values, downdates the Gram, and applies one blocked rank-k downdate
+  /// to the factor. When the downdate goes numerically indefinite the
+  /// factor falls back to ONE counted refactorisation from the (exactly
+  /// maintained) downdated Gram — the only refactor the shrink path can
+  /// ever cost. Pins at the removed ids are erased. The caller must
+  /// immediately afterwards compact the design matrix (Matrix::RemoveRows)
+  /// and the candidate set/index — this call leaves the session expecting
+  /// x().rows() to shrink by sorted_ids.size().
+  Status AbsorbRemovedRows(const std::vector<size_t>& sorted_ids);
+
  private:
   AlignmentSession(const Matrix* x, const IncidenceIndex* index,
                    std::shared_ptr<RidgePrepared> prepared,

@@ -1,5 +1,7 @@
 #include "src/graph/aligned_pair.h"
 
+#include <algorithm>
+
 #include "src/common/string_util.h"
 
 namespace activeiter {
@@ -33,10 +35,41 @@ Status AlignedPair::AddAnchor(NodeId u1, NodeId u2) {
 }
 
 Status AlignedPair::ApplyDelta(const PairDelta& delta) {
-  // Validate the anchors against the post-growth user universes and the
-  // one-to-one constraint (including duplicates within the batch) before
-  // either network mutates; HeteroNetwork::ApplyDelta is itself atomic, so
-  // validating anchors first makes the whole batch all-or-nothing.
+  // Validate retractions against the CURRENT state (a retraction may only
+  // withdraw an anchor that was actually revealed), then new anchors
+  // against the post-growth user universes and the post-retraction
+  // one-to-one maps — all before either network mutates; HeteroNetwork::
+  // ApplyDelta is itself atomic, so validating anchors first makes the
+  // whole batch all-or-nothing.
+  const std::vector<AnchorLink>& retracted = delta.retracted_anchors;
+  for (size_t i = 0; i < retracted.size(); ++i) {
+    const AnchorLink& r = retracted[i];
+    if (!IsAnchor(r.u1, r.u2)) {
+      return Status::NotFound(StrFormat(
+          "retraction of anchor (%u, %u): no such revealed anchor", r.u1,
+          r.u2));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (retracted[j].u1 == r.u1 || retracted[j].u2 == r.u2) {
+        return Status::FailedPrecondition(StrFormat(
+            "anchor (%u, %u) retracted twice in one batch", r.u1, r.u2));
+      }
+    }
+  }
+  // True iff this batch retracts the anchor currently holding `u` on the
+  // given side — that endpoint is free again for a new anchor.
+  auto first_freed = [&retracted](NodeId u1) {
+    for (const AnchorLink& r : retracted) {
+      if (r.u1 == u1) return true;
+    }
+    return false;
+  };
+  auto second_freed = [&retracted](NodeId u2) {
+    for (const AnchorLink& r : retracted) {
+      if (r.u2 == u2) return true;
+    }
+    return false;
+  };
   const size_t users_first = first_.NodeCount(NodeType::kUser) +
                              delta.first.NodeGrowth(NodeType::kUser);
   const size_t users_second = second_.NodeCount(NodeType::kUser) +
@@ -48,9 +81,12 @@ Status AlignedPair::ApplyDelta(const PairDelta& delta) {
       return Status::OutOfRange(
           StrFormat("delta anchor (%u, %u) out of user range", a.u1, a.u2));
     }
-    if ((a.u1 < partner_of_first_.size() && partner_of_first_[a.u1] != -1) ||
-        (a.u2 < partner_of_second_.size() &&
-         partner_of_second_[a.u2] != -1)) {
+    const bool u1_taken = a.u1 < partner_of_first_.size() &&
+                          partner_of_first_[a.u1] != -1 && !first_freed(a.u1);
+    const bool u2_taken = a.u2 < partner_of_second_.size() &&
+                          partner_of_second_[a.u2] != -1 &&
+                          !second_freed(a.u2);
+    if (u1_taken || u2_taken) {
       return Status::FailedPrecondition(StrFormat(
           "delta anchor (%u, %u) violates the one-to-one constraint", a.u1,
           a.u2));
@@ -69,6 +105,11 @@ Status AlignedPair::ApplyDelta(const PairDelta& delta) {
   ACTIVEITER_RETURN_IF_ERROR(second_.ValidateDelta(delta.second));
   ACTIVEITER_RETURN_IF_ERROR(first_.ApplyDelta(delta.first));
   ACTIVEITER_RETURN_IF_ERROR(second_.ApplyDelta(delta.second));
+  for (const AnchorLink& r : delta.retracted_anchors) {
+    partner_of_first_[r.u1] = -1;
+    partner_of_second_[r.u2] = -1;
+    anchors_.erase(std::find(anchors_.begin(), anchors_.end(), r));
+  }
   partner_of_first_.resize(users_first, -1);
   partner_of_second_.resize(users_second, -1);
   for (const AnchorLink& a : delta.new_anchors) {

@@ -27,17 +27,21 @@ struct AnchorLink {
   }
 };
 
-/// One growth batch for an aligned pair: per-side node/edge deltas plus
-/// the ground-truth anchors revealed with them (new shared users arriving
+/// One change batch for an aligned pair: per-side node/edge deltas, the
+/// ground-truth anchors revealed with them (new shared users arriving
 /// online bring their true partner links for the oracle and evaluation;
-/// the model never sees them unless queried or pinned).
+/// the model never sees them unless queried or pinned), and anchors
+/// retracted — previously revealed links withdrawn, freeing both endpoints
+/// under the one-to-one constraint.
 struct PairDelta {
   GraphDelta first;
   GraphDelta second;
   std::vector<AnchorLink> new_anchors;
+  std::vector<AnchorLink> retracted_anchors;
 
   bool empty() const {
-    return first.empty() && second.empty() && new_anchors.empty();
+    return first.empty() && second.empty() && new_anchors.empty() &&
+           retracted_anchors.empty();
   }
 };
 
@@ -53,9 +57,12 @@ class AlignedPair {
   /// and id ranges; violations return FailedPrecondition/OutOfRange.
   Status AddAnchor(NodeId u1, NodeId u2);
 
-  /// Applies one growth batch atomically: both side deltas and every new
-  /// anchor are validated (ranges, one-to-one, intra-batch duplicates)
-  /// before anything mutates; an invalid batch leaves the pair untouched.
+  /// Applies one change batch atomically: both side deltas, every
+  /// retracted anchor (must currently exist, no intra-batch duplicates)
+  /// and every new anchor (ranges, one-to-one against the post-retraction
+  /// maps, intra-batch duplicates) are validated before anything mutates;
+  /// an invalid batch leaves the pair untouched. Retractions apply before
+  /// additions, so a batch may retract (u1, a) and reveal (u1, b).
   Status ApplyDelta(const PairDelta& delta);
 
   const std::vector<AnchorLink>& anchors() const { return anchors_; }

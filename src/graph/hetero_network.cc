@@ -9,11 +9,13 @@ namespace activeiter {
 
 std::vector<RelationType> GraphDelta::TouchedRelations() const {
   std::vector<RelationType> out;
-  for (const EdgeDelta& e : edges) {
+  auto note = [&out](const EdgeDelta& e) {
     if (std::find(out.begin(), out.end(), e.relation) == out.end()) {
       out.push_back(e.relation);
     }
-  }
+  };
+  for (const EdgeDelta& e : edges) note(e);
+  for (const EdgeDelta& e : removed_edges) note(e);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -81,6 +83,32 @@ Status HeteroNetwork::ValidateDelta(const GraphDelta& delta) const {
           e.src, e.dst, RelationTypeName(e.relation), src_count, dst_count));
     }
   }
+  // Each removal must hit an occurrence that still exists at its point in
+  // the batch: stored count + same-batch additions − earlier removals.
+  for (size_t i = 0; i < delta.removed_edges.size(); ++i) {
+    const EdgeDelta& r = delta.removed_edges[i];
+    if (!schema_.HasRelation(r.relation)) {
+      return Status::InvalidArgument(StrFormat(
+          "relation %s not in schema", RelationTypeName(r.relation)));
+    }
+    const auto same = [&r](const EdgeDelta& e) {
+      return e.relation == r.relation && e.src == r.src && e.dst == r.dst;
+    };
+    size_t available = 0;
+    for (const auto& [src, dst] : edges_[static_cast<size_t>(r.relation)]) {
+      if (src == r.src && dst == r.dst) ++available;
+    }
+    available += static_cast<size_t>(
+        std::count_if(delta.edges.begin(), delta.edges.end(), same));
+    const size_t removed_before = static_cast<size_t>(std::count_if(
+        delta.removed_edges.begin(), delta.removed_edges.begin() + i, same));
+    if (removed_before >= available) {
+      return Status::NotFound(StrFormat(
+          "removal of edge (%u -> %u) relation %s: no stored occurrence "
+          "left to remove",
+          r.src, r.dst, RelationTypeName(r.relation)));
+    }
+  }
   return Status::OK();
 }
 
@@ -91,6 +119,14 @@ Status HeteroNetwork::ApplyDelta(const GraphDelta& delta) {
   }
   for (const EdgeDelta& e : delta.edges) {
     edges_[static_cast<size_t>(e.relation)].emplace_back(e.src, e.dst);
+  }
+  for (const EdgeDelta& r : delta.removed_edges) {
+    auto& list = edges_[static_cast<size_t>(r.relation)];
+    auto it = std::find(list.begin(), list.end(),
+                        std::make_pair(r.src, r.dst));
+    ACTIVEITER_CHECK_MSG(it != list.end(),
+                         "validated removal missing at apply time");
+    list.erase(it);
   }
   return Status::OK();
 }

@@ -35,18 +35,28 @@ struct EdgeDelta {
   NodeId dst = 0;
 };
 
-/// One batch of growth for a single network: nodes first, then edges.
-/// This is the unit the online ingestor consumes — "new users/links
-/// arriving online" as a value the serving layer can queue, validate and
-/// apply atomically.
+/// One batch of change for a single network: nodes first, then added
+/// edges, then removed edges. This is the unit the online ingestor
+/// consumes — "new users/links arriving online, old links dropping off" as
+/// a value the serving layer can queue, validate and apply atomically.
+///
+/// Removal semantics: each entry in `removed_edges` deletes ONE stored
+/// occurrence of that (relation, src, dst) edge. Since adjacency matrices
+/// binarize duplicates, removing one of k duplicate insertions only
+/// changes the graph once the last occurrence goes. Node id spaces never
+/// shrink — a "deleted user" is a user whose edges have been removed.
 struct GraphDelta {
   std::vector<NodeDelta> nodes;
   std::vector<EdgeDelta> edges;
+  std::vector<EdgeDelta> removed_edges;
 
-  bool empty() const { return nodes.empty() && edges.empty(); }
+  bool empty() const {
+    return nodes.empty() && edges.empty() && removed_edges.empty();
+  }
 
-  /// Relations with at least one new edge (sorted, deduplicated) — the
-  /// dirty set the delta-aware feature engine invalidates by.
+  /// Relations with at least one added OR removed edge (sorted,
+  /// deduplicated) — the dirty set the delta-aware feature engine
+  /// invalidates by.
   std::vector<RelationType> TouchedRelations() const;
 
   /// Total new nodes of `type` in this delta.
@@ -75,12 +85,16 @@ class HeteroNetwork {
   /// and deduplicated when building adjacency matrices.
   Status AddEdge(RelationType relation, NodeId src, NodeId dst);
 
-  /// Checks a growth batch without applying it: every edge is validated
-  /// against the id ranges *after* the batch's node growth.
+  /// Checks a batch without applying it: every added edge is validated
+  /// against the id ranges *after* the batch's node growth, and every
+  /// removed edge must name a stored occurrence still present after the
+  /// batch's own additions and earlier removals (so double-removal of a
+  /// singly-stored edge is rejected).
   Status ValidateDelta(const GraphDelta& delta) const;
 
-  /// Applies one growth batch atomically (ValidateDelta first, mutate
-  /// only on success), so a bad delta leaves the network untouched.
+  /// Applies one batch atomically (ValidateDelta first, mutate only on
+  /// success), so a bad delta leaves the network untouched. Order: node
+  /// growth, then edge additions, then edge removals.
   Status ApplyDelta(const GraphDelta& delta);
 
   /// Number of stored edges of `relation` (including duplicates).

@@ -22,12 +22,35 @@ namespace activeiter {
 /// The candidate anchor-link set H of one experiment: an ordered list of
 /// (u1, u2) pairs. Index into this list is the "link id" used everywhere
 /// downstream (feature rows, label vector y, incidence columns).
+///
+/// Shrinkage is two-phase: Remove() tombstones a link (id space and link()
+/// stay valid so in-flight consumers can still gather the row), then
+/// Compact() erases every tombstone at once, renumbering the survivors.
 class CandidateLinkSet {
  public:
+  /// Remap value for a link erased by Compact().
+  static constexpr size_t kRemovedId = static_cast<size_t>(-1);
+
   CandidateLinkSet() = default;
 
   /// Appends a candidate link and returns its link id.
   size_t Add(NodeId u1, NodeId u2);
+
+  /// Tombstones link `id`. Out-of-range ids and double-removal are Status
+  /// errors; nothing changes on failure.
+  Status Remove(size_t id);
+
+  /// True iff `id` is tombstoned (awaiting Compact()).
+  bool removed(size_t id) const {
+    return id < removed_.size() && removed_[id];
+  }
+  size_t removed_count() const { return removed_count_; }
+
+  /// Erases every tombstoned link, renumbering survivors in order.
+  /// Returns remap with remap[old_id] == new id, or kRemovedId for erased
+  /// links — feed it to IncidenceIndex::CompactWith and any parallel
+  /// per-link arrays (pins, global ids, design-matrix rows).
+  std::vector<size_t> Compact();
 
   size_t size() const { return links_.size(); }
   bool empty() const { return links_.empty(); }
@@ -42,6 +65,8 @@ class CandidateLinkSet {
 
  private:
   std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<bool> removed_;  // sized lazily; empty = no tombstones
+  size_t removed_count_ = 0;
 };
 
 /// Incidence structure of a candidate set: per-user link lists plus the
@@ -55,7 +80,22 @@ class IncidenceIndex {
   /// the pair's current user universes and indexes every candidate
   /// appended to the (borrowed) candidate set since construction or the
   /// last sync. O(new users + new links); existing lists are untouched.
+  /// Shrinkage must flow through RemoveCandidates + CompactWith first —
+  /// a candidate set that shrank behind the index's back is a CHECK.
   void SyncWithCandidates(const AlignedPair& pair);
+
+  /// Validates and tombstones candidates: every id must be in range and
+  /// not already removed; duplicate ids within one call are an error.
+  /// Nothing mutates on failure. On success the per-user link lists are
+  /// pruned eagerly, so LinksOfFirst/LinksOfSecond, ConflictingLinks, the
+  /// incidence matrices and degree vectors never surface a removed link
+  /// (its column stays allocated but empty until CompactWith).
+  Status RemoveCandidates(const std::vector<size_t>& ids);
+
+  /// Finishes shrinkage after the borrowed candidate set compacted:
+  /// rewrites surviving link ids through `remap` (the return value of
+  /// CandidateLinkSet::Compact()) and clears the tombstone set.
+  void CompactWith(const std::vector<size_t>& remap);
 
   /// All candidate link ids incident to user u1 of network 1 / u2 of net 2.
   const std::vector<size_t>& LinksOfFirst(NodeId u1) const;
@@ -92,12 +132,18 @@ class IncidenceIndex {
   size_t users_second() const { return users_second_; }
 
  private:
+  bool IsRemoved(size_t id) const {
+    return id < removed_.size() && removed_[id];
+  }
+
   const CandidateLinkSet* candidates_;
   size_t users_first_ = 0;
   size_t users_second_ = 0;
   size_t indexed_count_ = 0;  // candidates already in the per-user lists
   std::vector<std::vector<size_t>> by_first_;
   std::vector<std::vector<size_t>> by_second_;
+  std::vector<bool> removed_;  // tombstones awaiting CompactWith
+  size_t removed_count_ = 0;
 };
 
 }  // namespace activeiter

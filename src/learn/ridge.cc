@@ -50,6 +50,22 @@ void RidgePrepared::UpdateGram(const Matrix& new_rows) {
   }
 }
 
+void RidgePrepared::DowndateGram(const Matrix& removed_rows) {
+  const size_t d = gram_.rows();
+  ACTIVEITER_CHECK_MSG(removed_rows.rows() == 0 || removed_rows.cols() == d,
+                       "DowndateGram row width mismatch");
+  // Mirror of UpdateGram's blocked pass with subtraction: per entry the
+  // removed rows leave one at a time in ascending row order.
+  for (size_t i = 0; i < d; ++i) {
+    double* g = gram_.row_data(i);
+    for (size_t r = 0; r < removed_rows.rows(); ++r) {
+      const double* row = removed_rows.row_data(r);
+      const double ri = row[i];
+      for (size_t j = 0; j < d; ++j) g[j] -= ri * row[j];
+    }
+  }
+}
+
 void RidgePrepared::UpdateGramForReplacedRow(const Vector& old_row,
                                              const Vector& new_row) {
   const size_t d = gram_.rows();
@@ -88,6 +104,16 @@ Status RidgeSolver::AbsorbAppendedRows(const Matrix& new_rows) {
   // rank-1 update per row, but the factor is copied and traversed once per
   // delta instead of once per appended row.
   return factor_.RankKUpdate(new_rows, c_);
+}
+
+Status RidgeSolver::AbsorbRemovedRows(const Matrix& removed_rows) {
+  if (removed_rows.rows() > 0 && removed_rows.cols() != factor_.dim()) {
+    return Status::InvalidArgument("removed rows have the wrong width");
+  }
+  // One blocked rank-k downdate sweep; RankKUpdate is all-or-nothing, so
+  // an indefinite breakdown leaves the factor intact for the caller's
+  // refactorisation fallback.
+  return factor_.RankKUpdate(removed_rows, -c_);
 }
 
 Status RidgeSolver::AbsorbReplacedRow(const Vector& old_row,

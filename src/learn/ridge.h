@@ -64,6 +64,16 @@ class RidgeSolver {
   /// numerical breakdown and is surfaced.
   Status AbsorbReplacedRow(const Vector& old_row, const Vector& new_row);
 
+  /// Folds the removal of design rows into the cached factor: the k-row
+  /// panel subtracts c·RᵀR from I + cXᵀX via one blocked rank-k DOWNDATE
+  /// sweep (sigma = −c), all-or-nothing — on an indefinite breakdown the
+  /// factor is untouched and the error surfaces so the caller can fall
+  /// back to one counted refactorisation. Pass the removed rows' values as
+  /// gathered BEFORE they left the design matrix. Mathematically the
+  /// result I + c·Σrᵀr over the surviving rows is SPD, so failure is
+  /// numerical cancellation only (ill-conditioned removed rows).
+  Status AbsorbRemovedRows(const Matrix& removed_rows);
+
   double c() const { return c_; }
   size_t num_rows() const { return x_->rows(); }
   size_t num_features() const { return x_->cols(); }
@@ -106,6 +116,13 @@ class RidgePrepared {
   /// Replaces one row's Gram contribution: G += newᵀnew − oldᵀold. Call
   /// after overwriting the row in the design matrix.
   void UpdateGramForReplacedRow(const Vector& old_row, const Vector& new_row);
+
+  /// Subtracts removed rows' Gram contribution: G −= removedᵀ·removed,
+  /// mirroring UpdateGram's blocked loop (ascending-row, per-entry) with
+  /// subtraction. Call with the rows' values as gathered before removal.
+  /// Note += then −= of the same row is one rounding away from a no-op, so
+  /// a churned Gram is ulp-close — not bitwise-equal — to a fresh rebuild.
+  void DowndateGram(const Matrix& removed_rows);
 
   const Matrix& x() const { return *x_; }
   const Matrix& gram() const { return gram_; }

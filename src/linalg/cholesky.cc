@@ -30,12 +30,22 @@ Counter& RankKPanelCounter() {
   return *counter;
 }
 
+Counter& RankOneDowndateCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "linalg.cholesky.rank_one_downdates");
+  return *counter;
+}
+
 }  // namespace
 
 uint64_t CholeskyFactor::TotalFactorCount() { return FactorCounter().value(); }
 
 uint64_t CholeskyFactor::TotalRankOneUpdateCount() {
   return RankOneCounter().value();
+}
+
+uint64_t CholeskyFactor::TotalRankOneDowndateCount() {
+  return RankOneDowndateCounter().value();
 }
 
 Result<CholeskyFactor> CholeskyFactor::Factor(const Matrix& a) {
@@ -162,6 +172,7 @@ Status CholeskyFactor::RankOneUpdate(const Vector& v, double sigma) {
   }
   l_ = std::move(l);
   RankOneCounter().Increment();
+  if (sign < 0.0) RankOneDowndateCounter().Increment();
   return Status::OK();
 }
 
@@ -242,6 +253,7 @@ Status CholeskyFactor::RankKUpdate(const Matrix& panel, double sigma) {
   }
   l_ = std::move(l);
   RankOneCounter().Add(k);  // a panel still counts as its k directions
+  if (sign < 0.0) RankOneDowndateCounter().Add(k);
   RankKPanelCounter().Increment();
   return Status::OK();
 }

@@ -76,6 +76,12 @@ class CholeskyFactor {
   /// Process-wide count of successful rank-1 updates (relaxed atomic).
   static uint64_t TotalRankOneUpdateCount();
 
+  /// Process-wide count of successful rank-1 DOWNDATES (sigma < 0),
+  /// counted per direction — a rank-k downdate panel adds k. A subset of
+  /// TotalRankOneUpdateCount; tests diff it to prove the shrink path ran
+  /// through the downdate and not a refactorisation.
+  static uint64_t TotalRankOneDowndateCount();
+
   size_t dim() const { return l_.rows(); }
 
  private:

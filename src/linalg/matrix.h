@@ -64,6 +64,12 @@ class Matrix {
   /// rebuilding it.
   void AppendRows(const Matrix& rows);
 
+  /// Erases the rows named in `sorted_ids` (strictly increasing, all in
+  /// range — CHECKed), compacting the survivors in order. The shrink twin
+  /// of AppendRows: the ingest path drops removed candidate rows with
+  /// this. O(rows × cols) single pass.
+  void RemoveRows(const std::vector<size_t>& sorted_ids);
+
   /// Matrix transpose.
   Matrix Transpose() const;
 

@@ -105,7 +105,16 @@ void DeltaFeatureExtractor::NoteDelta(const PairDelta& delta) {
     // Record which adjacency rows each new edge touches: (src, dst) adds
     // an entry in row src of the forward matrix and row dst of the
     // backward one. These sets bound the incremental SpGEMM in Refresh().
+    // A removed edge touches exactly the same rows — the splice path does
+    // not care whether a row gained or lost entries, only that it must be
+    // recomputed — so shrink deltas flow through the same machinery.
     for (const EdgeDelta& e : sides[s]->edges) {
+      changed_step_rows_[StepRef::Rel(side, e.relation, true).Token()]
+          .insert(static_cast<uint32_t>(e.src));
+      changed_step_rows_[StepRef::Rel(side, e.relation, false).Token()]
+          .insert(static_cast<uint32_t>(e.dst));
+    }
+    for (const EdgeDelta& e : sides[s]->removed_edges) {
       changed_step_rows_[StepRef::Rel(side, e.relation, true).Token()]
           .insert(static_cast<uint32_t>(e.src));
       changed_step_rows_[StepRef::Rel(side, e.relation, false).Token()]

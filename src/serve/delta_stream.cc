@@ -34,6 +34,9 @@ Status DeltaStreamOptions::Validate() const {
   if (train_fraction <= 0.0 || train_fraction > 1.0) {
     return Status::InvalidArgument("train_fraction must be in (0, 1]");
   }
+  if (churn_fraction < 0.0 || churn_fraction >= 1.0) {
+    return Status::InvalidArgument("churn_fraction must be in [0, 1)");
+  }
   return Status::OK();
 }
 
@@ -277,6 +280,49 @@ Result<DeltaStream> CarveDeltaStream(const AlignedPair& full,
     } else {
       stream.batches[c.wave - 1].new_candidates.emplace_back(c.u1, c.u2);
     }
+  }
+
+  // --- churn: grow → shrink → grow -----------------------------------------
+  // Each growth wave gets a trailing churn batch withdrawing a sample of
+  // what the wave just revealed (so every removal names something that is
+  // provably present), and one final batch re-adds the withdrawn items.
+  // The replayed end state is unchanged up to candidate link-id renaming.
+  if (options.churn_fraction > 0.0) {
+    auto sample = [&](size_t n) {
+      const size_t k = std::min<size_t>(
+          n, static_cast<size_t>(std::lround(
+                 options.churn_fraction * static_cast<double>(n))));
+      std::vector<size_t> ids = rng.SampleWithoutReplacement(n, k);
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    };
+    std::vector<ServeDelta> churned;
+    churned.reserve(2 * stream.batches.size() + 1);
+    ServeDelta readd;
+    for (ServeDelta& b : stream.batches) {
+      ServeDelta churn;
+      for (int s = 0; s < 2; ++s) {
+        const GraphDelta& grown = s == 0 ? b.graph.first : b.graph.second;
+        GraphDelta& shrink = s == 0 ? churn.graph.first : churn.graph.second;
+        GraphDelta& regrow = s == 0 ? readd.graph.first : readd.graph.second;
+        for (size_t id : sample(grown.edges.size())) {
+          shrink.removed_edges.push_back(grown.edges[id]);
+          regrow.edges.push_back(grown.edges[id]);
+        }
+      }
+      for (size_t id : sample(b.graph.new_anchors.size())) {
+        churn.graph.retracted_anchors.push_back(b.graph.new_anchors[id]);
+        readd.graph.new_anchors.push_back(b.graph.new_anchors[id]);
+      }
+      for (size_t id : sample(b.new_candidates.size())) {
+        churn.removed_candidates.push_back(b.new_candidates[id]);
+        readd.new_candidates.push_back(b.new_candidates[id]);
+      }
+      churned.push_back(std::move(b));
+      if (!churn.empty()) churned.push_back(std::move(churn));
+    }
+    if (!readd.empty()) churned.push_back(std::move(readd));
+    stream.batches = std::move(churned);
   }
   return stream;
 }

@@ -44,6 +44,13 @@ struct DeltaStreamOptions {
   double initial_fraction = 0.5;  // of anchored pairs revealed at wave 0
   double np_ratio = 5.0;          // negative candidates per positive
   double train_fraction = 0.3;    // of wave-0 anchors labeled as L+
+  /// Churn mode: when > 0, each growth wave is followed by a churn batch
+  /// that removes this fraction of the wave's just-revealed edges,
+  /// candidates and anchors, and one extra final batch re-adds everything
+  /// withdrawn — a grow→shrink→grow workload. The replayed end state is
+  /// unchanged (every removal is re-added); re-added candidates get fresh
+  /// link ids, modelling re-revealed pairs. 0 disables churn (pure growth).
+  double churn_fraction = 0.0;
   uint64_t seed = 99;
 
   Status Validate() const;

@@ -6,6 +6,17 @@
 #include "src/linalg/cholesky.h"
 
 namespace activeiter {
+namespace {
+
+// Shrink-path accounting on the default registry (alongside the cholesky
+// counters), so --metrics_json sees it without any sink attached.
+Counter& RowsRemovedCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "serve.ingest.rows_removed");
+  return *counter;
+}
+
+}  // namespace
 
 ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas) {
   ServeDelta merged;
@@ -19,6 +30,37 @@ ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas) {
       break;
     }
   }
+  // Fold one side's edge lists in, collapsing opposing operations: a
+  // removal cancels one pending same-key addition and an addition cancels
+  // one pending same-key removal (add-then-remove and remove-then-re-add
+  // are both multiset no-ops, so the merged batch stays equivalent to the
+  // sequential application).
+  auto merge_side = [](GraphDelta& into, GraphDelta& from) {
+    into.nodes.insert(into.nodes.end(), from.nodes.begin(), from.nodes.end());
+    auto same = [](const EdgeDelta& a, const EdgeDelta& b) {
+      return a.relation == b.relation && a.src == b.src && a.dst == b.dst;
+    };
+    for (EdgeDelta& e : from.edges) {
+      auto it = std::find_if(
+          into.removed_edges.begin(), into.removed_edges.end(),
+          [&](const EdgeDelta& r) { return same(r, e); });
+      if (it != into.removed_edges.end()) {
+        into.removed_edges.erase(it);
+      } else {
+        into.edges.push_back(e);
+      }
+    }
+    for (EdgeDelta& r : from.removed_edges) {
+      auto it =
+          std::find_if(into.edges.begin(), into.edges.end(),
+                       [&](const EdgeDelta& e) { return same(e, r); });
+      if (it != into.edges.end()) {
+        into.edges.erase(it);
+      } else {
+        into.removed_edges.push_back(r);
+      }
+    }
+  };
   for (ServeDelta& d : deltas) {
     ACTIVEITER_CHECK_MSG(
         d.candidate_ids.empty() ||
@@ -27,17 +69,54 @@ ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas) {
     ACTIVEITER_CHECK_MSG(
         d.new_candidates.empty() || !d.candidate_ids.empty() == with_ids,
         "cannot merge batches that mix explicit and implicit link ids");
-    auto append = [](auto& into, auto& from) {
-      into.insert(into.end(), std::make_move_iterator(from.begin()),
-                  std::make_move_iterator(from.end()));
-    };
-    append(merged.graph.first.nodes, d.graph.first.nodes);
-    append(merged.graph.first.edges, d.graph.first.edges);
-    append(merged.graph.second.nodes, d.graph.second.nodes);
-    append(merged.graph.second.edges, d.graph.second.edges);
-    append(merged.graph.new_anchors, d.graph.new_anchors);
-    append(merged.new_candidates, d.new_candidates);
-    append(merged.candidate_ids, d.candidate_ids);
+    merge_side(merged.graph.first, d.graph.first);
+    merge_side(merged.graph.second, d.graph.second);
+    // Anchor reveal/retraction collapse on the exact link.
+    for (AnchorLink& a : d.graph.new_anchors) {
+      auto it = std::find(merged.graph.retracted_anchors.begin(),
+                          merged.graph.retracted_anchors.end(), a);
+      if (it != merged.graph.retracted_anchors.end()) {
+        merged.graph.retracted_anchors.erase(it);
+      } else {
+        merged.graph.new_anchors.push_back(a);
+      }
+    }
+    for (AnchorLink& r : d.graph.retracted_anchors) {
+      auto it = std::find(merged.graph.new_anchors.begin(),
+                          merged.graph.new_anchors.end(), r);
+      if (it != merged.graph.new_anchors.end()) {
+        merged.graph.new_anchors.erase(it);
+      } else {
+        merged.graph.retracted_anchors.push_back(r);
+      }
+    }
+    // Candidate add/remove collapse on the endpoint pair: a removal
+    // cancels the pending addition (and its explicit id), a re-add cancels
+    // the pending removal (the candidate keeps its existing row/id).
+    for (size_t i = 0; i < d.new_candidates.size(); ++i) {
+      auto it = std::find(merged.removed_candidates.begin(),
+                          merged.removed_candidates.end(),
+                          d.new_candidates[i]);
+      if (it != merged.removed_candidates.end()) {
+        merged.removed_candidates.erase(it);
+        continue;
+      }
+      merged.new_candidates.push_back(d.new_candidates[i]);
+      if (with_ids) merged.candidate_ids.push_back(d.candidate_ids[i]);
+    }
+    for (const auto& r : d.removed_candidates) {
+      bool cancelled = false;
+      for (size_t i = 0; i < merged.new_candidates.size(); ++i) {
+        if (merged.new_candidates[i] != r) continue;
+        merged.new_candidates.erase(merged.new_candidates.begin() + i);
+        if (with_ids) {
+          merged.candidate_ids.erase(merged.candidate_ids.begin() + i);
+        }
+        cancelled = true;
+        break;
+      }
+      if (!cancelled) merged.removed_candidates.push_back(r);
+    }
   }
   return merged;
 }
@@ -48,6 +127,7 @@ IngestStats& IngestStats::operator+=(const IngestStats& other) {
   coalesced_batches += other.coalesced_batches;
   rows_appended += other.rows_appended;
   rows_replaced += other.rows_replaced;
+  rows_removed += other.rows_removed;
   rank_one_updates += other.rank_one_updates;
   full_factorisations += other.full_factorisations;
   return *this;
@@ -185,6 +265,58 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
     }
   }
 
+  // Withdrawn candidates leave FIRST, so the replace/append passes below
+  // see the compacted slice. The epoch's removals coalesce into one
+  // blocked rank-k downdate (plus an exact Gram downdate); only a
+  // numerically indefinite downdate falls back to a single counted
+  // refactorisation inside AbsorbRemovedRows.
+  size_t removed_count = 0;
+  if (!slice.removed_candidates.empty()) {
+    TraceSpan span(options_.obs.tracer, "ingest.remove_coalesce");
+    std::vector<size_t> ids;
+    ids.reserve(slice.removed_candidates.size());
+    for (const auto& [u1, u2] : slice.removed_candidates) {
+      size_t found = CandidateLinkSet::kRemovedId;
+      if (u1 < index_->users_first()) {
+        for (size_t id : index_->LinksOfFirst(u1)) {
+          if (candidates_.link(id).second == u2) {
+            found = id;
+            break;
+          }
+        }
+      }
+      if (found == CandidateLinkSet::kRemovedId) {
+        return Status::NotFound(
+            "removal names a candidate pair this shard does not serve");
+      }
+      ids.push_back(found);
+    }
+    std::sort(ids.begin(), ids.end());
+    // Validates range/duplicates and prunes the per-user lists eagerly.
+    ACTIVEITER_RETURN_IF_ERROR(index_->RemoveCandidates(ids));
+    ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbRemovedRows(ids));
+    for (size_t id : ids) {
+      Status removed = candidates_.Remove(id);
+      ACTIVEITER_CHECK_MSG(removed.ok(), "validated removal failed to apply");
+    }
+    index_->CompactWith(candidates_.Compact());
+    x_.RemoveRows(ids);
+    if (!global_ids_.empty()) {
+      size_t next_removed = 0;
+      size_t write = 0;
+      for (size_t i = 0; i < global_ids_.size(); ++i) {
+        if (next_removed < ids.size() && ids[next_removed] == i) {
+          ++next_removed;
+          continue;
+        }
+        global_ids_[write++] = global_ids_[i];
+      }
+      global_ids_.resize(write);
+    }
+    removed_count = ids.size();
+    RowsRemovedCounter().Add(removed_count);
+  }
+
   // Existing candidates whose dirty feature columns actually moved:
   // overwrite the row in place and absorb it as a rank-1 replace.
   size_t replaced = 0;
@@ -234,6 +366,22 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
     index_->SyncWithCandidates(plane.pair());
     x_.AppendRows(new_rows);
     ACTIVEITER_RETURN_IF_ERROR(session_->AbsorbAppendedRows(old_count));
+    // A re-revealed candidate that IS a train anchor re-enters L+ — the
+    // churn twin of Start()'s pinning pass (appended negatives never match
+    // an anchor, so this is a no-op on grow-only streams).
+    if (!slice.new_candidates.empty()) {
+      std::unordered_set<uint64_t> labeled;
+      labeled.reserve(plane.train_anchors().size() * 2);
+      for (const AnchorLink& a : plane.train_anchors()) {
+        labeled.insert((static_cast<uint64_t>(a.u1) << 32) | a.u2);
+      }
+      for (size_t r = 0; r < slice.new_candidates.size(); ++r) {
+        const auto& [u1, u2] = slice.new_candidates[r];
+        if (labeled.count((static_cast<uint64_t>(u1) << 32) | u2) != 0) {
+          session_->SetPin(old_count + r, Pin::kPositive);
+        }
+      }
+    }
   }
 
   ++epoch_;
@@ -245,6 +393,7 @@ Status ModelShard::ApplySlice(const FeaturePlane& plane,
     stats_.coalesced_batches += submitted_batches - 1;
     stats_.rows_appended += slice.new_candidates.size();
     stats_.rows_replaced += replaced;
+    stats_.rows_removed += removed_count;
     stats_.rank_one_updates +=
         CholeskyFactor::TotalRankOneUpdateCount() - rank1_before;
     stats_.full_factorisations +=

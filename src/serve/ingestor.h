@@ -14,23 +14,31 @@
 //                                      the standalone single-writer
 //                                      pipeline.
 //
-// A ServeDelta batch advances a (plane, shard) pair in six steps:
+// A ServeDelta batch advances a (plane, shard) pair in seven steps:
 //
-//   1. plane.Apply              (atomic graph growth + dirty tokens)
+//   1. plane.Apply              (atomic graph change + dirty tokens; grows
+//                                AND shrinks — edge removals and anchor
+//                                retractions apply validate-then-commit)
 //   2. plane.Refresh            (only dirty diagrams recompute; clean
 //                                intermediates migrate via padding)
-//   3. replaced rows            (existing candidates whose dirty feature
+//   3. removed rows             (withdrawn candidates: one blocked rank-k
+//                                DOWNDATE of the factor + Gram downdate,
+//                                then X/candidates/index/pins compact —
+//                                zero refactorisations unless the downdate
+//                                goes numerically indefinite, which costs
+//                                exactly one counted refactor)
+//   4. replaced rows            (existing candidates whose dirty feature
 //                                columns changed: Gram replace + rank-1
 //                                update/downdate pair per row)
-//   4. appended rows            (new candidates: feature row from the
+//   5. appended rows            (new candidates: feature row from the
 //                                proximity tables, Gram fold-in + one
 //                                rank-1 update per row)
-//   5. re-run the PU alternation (IterAligner against the grown session —
+//   6. re-run the PU alternation (IterAligner against the grown session —
 //                                solves only, the factor is never rebuilt)
-//   6. BuildSnapshot + Publish  (atomic epoch swap in the service)
+//   7. BuildSnapshot + Publish  (atomic epoch swap in the service)
 //
 // Steps 1–2 are plane work (once per drain, however many shards); steps
-// 3–6 are shard work (per slice, shard-parallel under ShardedIngestor —
+// 3–7 are shard work (per slice, shard-parallel under ShardedIngestor —
 // see shard.h). After Start()'s single Prepare no full factorisation ever
 // runs again — stats().full_factorisations stays 1 per shard, proven in
 // the integration tests via CholeskyFactor::TotalFactorCount.
@@ -79,8 +87,15 @@ struct ServeDelta {
   PairDelta graph;
   std::vector<std::pair<NodeId, NodeId>> new_candidates;
   std::vector<size_t> candidate_ids;
+  /// Candidate pairs withdrawn from serving (un-revealed). Identified by
+  /// endpoint pair, not link id, so the sharded router can compute the
+  /// owning shard without an id map. Each pair must currently be served.
+  std::vector<std::pair<NodeId, NodeId>> removed_candidates;
 
-  bool empty() const { return graph.empty() && new_candidates.empty(); }
+  bool empty() const {
+    return graph.empty() && new_candidates.empty() &&
+           removed_candidates.empty();
+  }
 };
 
 /// Concatenates a burst of batches into one equivalent batch: node growth,
@@ -88,6 +103,12 @@ struct ServeDelta {
 /// batch yields the same graph, candidate set and design matrix as
 /// applying the parts one by one — in one epoch instead of many. Either
 /// every input carries candidate_ids or none does (checked).
+///
+/// Opposing operations on the same key COLLAPSE during the merge: an edge
+/// removal cancels a pending same-key addition (and vice versa), an anchor
+/// retraction cancels the pending reveal of the same link, and a candidate
+/// removal cancels the pending addition of the same pair — so a
+/// remove-then-re-add churn burst costs nothing at absorption time.
 ServeDelta MergeServeDeltas(std::vector<ServeDelta> deltas);
 
 /// Knobs of the serving model.
@@ -141,6 +162,7 @@ struct IngestStats {
   uint64_t coalesced_batches = 0;     // submits absorbed into a shared epoch
   uint64_t rows_appended = 0;
   uint64_t rows_replaced = 0;
+  uint64_t rows_removed = 0;          // candidate rows downdated out
   uint64_t rank_one_updates = 0;      // factor updates + downdates
   uint64_t full_factorisations = 0;   // stays 1 after Start()
 
@@ -172,7 +194,8 @@ class ModelShard {
   Status Start(FeaturePlane& plane);
 
   /// Applies this shard's slice of a batch against an already-refreshed
-  /// plane: replaced rows for `dirty_columns`, appended rows for the
+  /// plane: removed rows downdated out for the slice's withdrawn
+  /// candidates, replaced rows for `dirty_columns`, appended rows for the
   /// slice's new candidates, realign, publish. `submitted_batches` is the
   /// number of Submit() calls the slice coalesces (1 for ApplyOnce).
   Status ApplySlice(const FeaturePlane& plane,

@@ -11,6 +11,12 @@ std::vector<ServeDelta> RouteServeDelta(const ServeDelta& delta,
                        "incoming batches must not carry global link ids");
   std::vector<ServeDelta> routed(partition.num_shards);
   for (ServeDelta& r : routed) r.graph = delta.graph;
+  // Removals are identified by endpoint pair, so the owning shard falls
+  // out of the same first-endpoint rule that placed the candidate.
+  for (const auto& [u1, u2] : delta.removed_candidates) {
+    routed[partition.ShardOfFirstUser(u1)].removed_candidates.emplace_back(
+        u1, u2);
+  }
   size_t global_id = first_global_id;
   for (const auto& [u1, u2] : delta.new_candidates) {
     ServeDelta& r = routed[partition.ShardOfFirstUser(u1)];
@@ -220,6 +226,7 @@ IngestStats ShardedIngestor::stats() const {
   for (size_t s = 1; s < shards_.size(); ++s) {
     const IngestStats shard = shards_[s]->stats();
     total.rows_appended += shard.rows_appended;
+    total.rows_removed += shard.rows_removed;
     total.rows_replaced += shard.rows_replaced;
     total.rank_one_updates += shard.rank_one_updates;
     total.full_factorisations += shard.full_factorisations;

@@ -62,7 +62,9 @@ namespace activeiter {
 /// replicated to every shard (slices must stay aligned with the shared
 /// plane), new candidates go to the shard owning their first endpoint,
 /// and each candidate is stamped with a global link id starting at
-/// `first_global_id`. The incoming batch must not carry ids already.
+/// `first_global_id`. Candidate removals route by the same first-endpoint
+/// rule — pairs, not ids, so no cross-shard id map is needed. The
+/// incoming batch must not carry ids already.
 std::vector<ServeDelta> RouteServeDelta(const ServeDelta& delta,
                                         const ShardPartition& partition,
                                         size_t first_global_id);
@@ -125,7 +127,8 @@ class ShardedIngestor {
   /// Ingest accounting. Drain-level counters (epochs_published,
   /// deltas_applied, coalesced_batches) advance in lock-step on every
   /// shard and are reported once; per-row counters (rows_appended,
-  /// rows_replaced, rank_one_updates, full_factorisations) are summed
+  /// rows_removed, rows_replaced, rank_one_updates, full_factorisations)
+  /// are summed
   /// across shards — full_factorisations equals num_shards after Start().
   IngestStats stats() const;
   IngestStats shard_stats(size_t shard) const;

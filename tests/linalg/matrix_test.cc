@@ -201,5 +201,33 @@ TEST(MatrixAppendDeathTest, WidthMismatchDies) {
   EXPECT_DEATH(m.AppendRow(Vector{1.0}), "width");
 }
 
+TEST(MatrixRemoveTest, RemoveRowsCompactsSurvivorsInOrder) {
+  Matrix m = RandomMatrix(6, 3, 5);
+  const Matrix original = m;
+  m.RemoveRows({1, 4});
+  ASSERT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  const size_t survivors[] = {0, 2, 3, 5};
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(m(r, j), original(survivors[r], j)) << r << "," << j;
+    }
+  }
+
+  // Removing everything and removing nothing are both well-formed.
+  m.RemoveRows({});
+  EXPECT_EQ(m.rows(), 4u);
+  m.RemoveRows({0, 1, 2, 3});
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(MatrixRemoveDeathTest, RejectsUnsortedAndOutOfRangeIds) {
+  Matrix m = RandomMatrix(4, 2, 6);
+  EXPECT_DEATH(m.RemoveRows({2, 1}), "increasing");
+  EXPECT_DEATH(m.RemoveRows({1, 1}), "increasing");
+  EXPECT_DEATH(m.RemoveRows({4}), "range");
+}
+
 }  // namespace
 }  // namespace activeiter

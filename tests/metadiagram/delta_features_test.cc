@@ -239,6 +239,47 @@ TEST(DeltaFeatureTest, SplicingThresholdBoundaries) {
   }
 }
 
+// Shrinking deltas ride the same splice path as growth: a removed edge is
+// just a changed row, so streamed extraction after edge removals (and a
+// remove-then-re-add round trip) must stay bitwise-equal to the rebuild.
+TEST(DeltaFeatureTest, RemovedEdgesBitwiseMatchFullRebuild) {
+  AlignedPair pair = TinyPair(15);
+  std::vector<AnchorLink> train = TrainAnchors(pair, 10);
+  CandidateLinkSet candidates = SomeCandidates(pair, 30, 16);
+  DeltaFeatureExtractor extractor(pair, train);
+  extractor.Extract(candidates);
+
+  // Remove one existing follow edge per side.
+  const auto first_edge = pair.first().Edges(RelationType::kFollow).front();
+  const auto second_edge = pair.second().Edges(RelationType::kFollow).front();
+  PairDelta shrink;
+  shrink.first.removed_edges.push_back(
+      {RelationType::kFollow, first_edge.first, first_edge.second});
+  shrink.second.removed_edges.push_back(
+      {RelationType::kFollow, second_edge.first, second_edge.second});
+  ASSERT_TRUE(pair.ApplyDelta(shrink).ok());
+  extractor.NoteDelta(shrink);
+
+  Matrix streamed = extractor.Extract(candidates);
+  FeatureExtractor batch_extractor(pair, train);
+  ExpectBitwiseEqual(streamed, batch_extractor.Extract(candidates));
+
+  // Round trip: re-adding the removed edges restores the original
+  // features exactly, still through the incremental path.
+  PairDelta regrow;
+  regrow.first.edges.push_back(
+      {RelationType::kFollow, first_edge.first, first_edge.second});
+  regrow.second.edges.push_back(
+      {RelationType::kFollow, second_edge.first, second_edge.second});
+  ASSERT_TRUE(pair.ApplyDelta(regrow).ok());
+  extractor.NoteDelta(regrow);
+  Matrix restored = extractor.Extract(candidates);
+  FeatureExtractor fresh(pair, train);
+  ExpectBitwiseEqual(restored, fresh.Extract(candidates));
+  EXPECT_EQ(extractor.stats().refreshes, 3u);
+  EXPECT_GT(extractor.stats().diagrams_reused, 0u);
+}
+
 TEST(DeltaFeatureTest, RefreshWithoutDeltaIsANoOp) {
   AlignedPair pair = TinyPair();
   std::vector<AnchorLink> train = TrainAnchors(pair, 10);

@@ -158,5 +158,78 @@ TEST(CoalesceTest, MergePreservesSubmissionOrder) {
   EXPECT_TRUE(merged.candidate_ids.empty());
 }
 
+// Opposing operations collapse at merge time: add-then-remove and
+// remove-then-re-add are multiset no-ops for edges, anchors and candidate
+// pairs, so the merged batch is equivalent to applying the backlog in
+// submission order.
+TEST(CoalesceTest, MergeCollapsesOpposingEdgeOperations) {
+  ServeDelta grow;
+  grow.graph.first.edges.push_back({RelationType::kFollow, 1, 2});
+  grow.graph.first.edges.push_back({RelationType::kFollow, 3, 4});
+  ServeDelta shrink;
+  shrink.graph.first.removed_edges.push_back({RelationType::kFollow, 1, 2});
+  shrink.graph.first.removed_edges.push_back({RelationType::kFollow, 9, 9});
+  ServeDelta merged = MergeServeDeltas({grow, shrink});
+  // (1,2) cancelled; (3,4) survives as an add, (9,9) as a removal of a
+  // pre-existing edge.
+  ASSERT_EQ(merged.graph.first.edges.size(), 1u);
+  EXPECT_EQ(merged.graph.first.edges[0].src, NodeId{3});
+  ASSERT_EQ(merged.graph.first.removed_edges.size(), 1u);
+  EXPECT_EQ(merged.graph.first.removed_edges[0].src, NodeId{9});
+
+  // Remove-then-re-add collapses the other way too.
+  ServeDelta readd;
+  readd.graph.first.edges.push_back({RelationType::kFollow, 9, 9});
+  ServeDelta both = MergeServeDeltas({grow, shrink, readd});
+  ASSERT_EQ(both.graph.first.edges.size(), 1u);
+  EXPECT_TRUE(both.graph.first.removed_edges.empty());
+}
+
+TEST(CoalesceTest, MergeCollapsesAnchorRevealAndRetraction) {
+  ServeDelta reveal;
+  reveal.graph.new_anchors.push_back({1, 1});
+  reveal.graph.new_anchors.push_back({2, 2});
+  ServeDelta retract;
+  retract.graph.retracted_anchors.push_back({1, 1});
+  retract.graph.retracted_anchors.push_back({5, 5});
+  ServeDelta merged = MergeServeDeltas({reveal, retract});
+  ASSERT_EQ(merged.graph.new_anchors.size(), 1u);
+  EXPECT_EQ(merged.graph.new_anchors[0], (AnchorLink{2, 2}));
+  ASSERT_EQ(merged.graph.retracted_anchors.size(), 1u);
+  EXPECT_EQ(merged.graph.retracted_anchors[0], (AnchorLink{5, 5}));
+}
+
+TEST(CoalesceTest, MergeCollapsesCandidateChurn) {
+  ServeDelta grow;
+  grow.new_candidates.emplace_back(1, 2);
+  grow.new_candidates.emplace_back(3, 4);
+  ServeDelta shrink;
+  shrink.removed_candidates.emplace_back(1, 2);   // cancels the pending add
+  shrink.removed_candidates.emplace_back(7, 8);   // removes a served pair
+  ServeDelta readd;
+  readd.new_candidates.emplace_back(7, 8);        // cancels the removal
+
+  ServeDelta merged = MergeServeDeltas({grow, shrink, readd});
+  ASSERT_EQ(merged.new_candidates.size(), 1u);
+  EXPECT_EQ(merged.new_candidates[0], std::make_pair(NodeId{3}, NodeId{4}));
+  EXPECT_TRUE(merged.removed_candidates.empty());
+  EXPECT_TRUE(merged.candidate_ids.empty());
+}
+
+TEST(CoalesceTest, MergeCollapseDropsCancelledExplicitIds) {
+  // Sharded routing mode: candidates carry explicit global ids; a
+  // cancelled addition must drop its id too, keeping the arrays parallel.
+  ServeDelta grow;
+  grow.new_candidates.emplace_back(1, 2);
+  grow.new_candidates.emplace_back(3, 4);
+  grow.candidate_ids = {10, 11};
+  ServeDelta shrink;
+  shrink.removed_candidates.emplace_back(1, 2);
+  ServeDelta merged = MergeServeDeltas({grow, shrink});
+  ASSERT_EQ(merged.new_candidates.size(), 1u);
+  ASSERT_EQ(merged.candidate_ids.size(), 1u);
+  EXPECT_EQ(merged.candidate_ids[0], 11u);
+}
+
 }  // namespace
 }  // namespace activeiter

@@ -4,6 +4,9 @@
 
 #include "src/serve/delta_stream.h"
 
+#include <set>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "src/datagen/aligned_generator.h"
@@ -132,6 +135,94 @@ TEST(DeltaStreamTest, DeterministicInSeed) {
   }
 }
 
+// Churn mode interleaves a shrink batch after each grow wave and one
+// re-add batch at the very end; every removal names something a previous
+// batch (or the initial state) revealed, so full replay still validates
+// cleanly and lands on the complete pair.
+TEST(DeltaStreamTest, ChurnReplayStillReconstructsTheFullPair) {
+  AlignedPair full = TinyPair(29);
+  DeltaStreamOptions options;
+  options.num_batches = 3;
+  options.initial_fraction = 0.4;
+  options.np_ratio = 3.0;
+  options.seed = 34;
+  options.churn_fraction = 0.5;
+  auto stream = CarveDeltaStream(full, options);
+  ASSERT_TRUE(stream.ok());
+  DeltaStream& s = stream.value();
+
+  // More batches than the grow-only carve, and at least one of them
+  // actually shrinks something.
+  EXPECT_GT(s.batches.size(), 3u);
+  size_t removed_edges = 0, retracted = 0, removed_candidates = 0;
+  for (const ServeDelta& batch : s.batches) {
+    removed_edges += batch.graph.first.removed_edges.size() +
+                     batch.graph.second.removed_edges.size();
+    retracted += batch.graph.retracted_anchors.size();
+    removed_candidates += batch.removed_candidates.size();
+  }
+  EXPECT_GT(removed_edges, 0u);
+  EXPECT_GT(retracted, 0u);
+  EXPECT_GT(removed_candidates, 0u);
+
+  // Replay applies every batch — shrink batches included — and each must
+  // pass validate-then-commit. Candidate removals must name pairs that
+  // are currently live.
+  AlignedPair replay = s.initial;
+  std::multiset<std::pair<NodeId, NodeId>> live;
+  for (size_t id = 0; id < s.initial_candidates.size(); ++id) {
+    live.insert(s.initial_candidates.link(id));
+  }
+  for (const ServeDelta& batch : s.batches) {
+    ASSERT_TRUE(replay.ApplyDelta(batch.graph).ok());
+    for (const auto& pair : batch.removed_candidates) {
+      auto it = live.find(pair);
+      ASSERT_TRUE(it != live.end());
+      live.erase(it);
+    }
+    for (const auto& pair : batch.new_candidates) live.insert(pair);
+  }
+
+  // The final re-add batch restores everything: node/edge/anchor counts
+  // match the source pair and the candidate multiset is full-sized again.
+  for (NodeType t : {NodeType::kUser, NodeType::kPost, NodeType::kWord}) {
+    EXPECT_EQ(replay.first().NodeCount(t), full.first().NodeCount(t));
+    EXPECT_EQ(replay.second().NodeCount(t), full.second().NodeCount(t));
+  }
+  for (int r = 0; r < kNumRelationTypes; ++r) {
+    RelationType rel = static_cast<RelationType>(r);
+    EXPECT_EQ(replay.first().EdgeCount(rel), full.first().EdgeCount(rel));
+    EXPECT_EQ(replay.second().EdgeCount(rel), full.second().EdgeCount(rel));
+  }
+  EXPECT_EQ(replay.anchor_count(), full.anchor_count());
+  EXPECT_EQ(live.size(),
+            full.anchor_count() +
+                static_cast<size_t>(options.np_ratio *
+                                    static_cast<double>(
+                                        full.anchor_count())));
+}
+
+TEST(DeltaStreamTest, ChurnCarveIsDeterministicInSeed) {
+  AlignedPair full = TinyPair(37);
+  DeltaStreamOptions options;
+  options.num_batches = 2;
+  options.seed = 35;
+  options.churn_fraction = 0.3;
+  auto a = CarveDeltaStream(full, options);
+  auto b = CarveDeltaStream(full, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().batches.size(), b.value().batches.size());
+  for (size_t i = 0; i < a.value().batches.size(); ++i) {
+    EXPECT_EQ(a.value().batches[i].removed_candidates,
+              b.value().batches[i].removed_candidates);
+    EXPECT_EQ(a.value().batches[i].graph.first.removed_edges.size(),
+              b.value().batches[i].graph.first.removed_edges.size());
+    EXPECT_EQ(a.value().batches[i].graph.retracted_anchors.size(),
+              b.value().batches[i].graph.retracted_anchors.size());
+  }
+}
+
 TEST(DeltaStreamTest, RejectsBadOptions) {
   AlignedPair full = TinyPair(23);
   DeltaStreamOptions options;
@@ -142,6 +233,12 @@ TEST(DeltaStreamTest, RejectsBadOptions) {
   EXPECT_FALSE(CarveDeltaStream(full, options).ok());
   options = DeltaStreamOptions{};
   options.train_fraction = 0.0;
+  EXPECT_FALSE(CarveDeltaStream(full, options).ok());
+  // Churn is a fraction of each wave: [0, 1) only.
+  options = DeltaStreamOptions{};
+  options.churn_fraction = 1.0;
+  EXPECT_FALSE(CarveDeltaStream(full, options).ok());
+  options.churn_fraction = -0.1;
   EXPECT_FALSE(CarveDeltaStream(full, options).ok());
 }
 

@@ -161,6 +161,55 @@ TEST(ObsIntegrationTest, ShardedIngestorEmitsCoordinatorStagesAndRouterLatency) 
   }
 }
 
+TEST(ObsIntegrationTest, ChurnIngestEmitsRemovalSpanAndKernelCounters) {
+  auto full = AlignedNetworkGenerator(TinyPreset(73)).Generate();
+  ASSERT_TRUE(full.ok());
+  DeltaStreamOptions carve;
+  carve.num_batches = 4;
+  carve.initial_fraction = 0.4;
+  carve.np_ratio = 4.0;
+  carve.seed = 73 ^ 0x5EEDULL;
+  carve.churn_fraction = 0.4;
+  auto stream = CarveDeltaStream(full.value(), carve);
+  ASSERT_TRUE(stream.ok());
+  DeltaStream s = std::move(stream).ValueOrDie();
+
+  MetricsRegistry registry;
+  Tracer tracer;
+  IngestorOptions options;
+  options.obs.metrics = &registry;
+  options.obs.tracer = &tracer;
+
+  // Kernel-layer counters live on the process-wide default registry no
+  // matter which registry the ingestor attaches; snapshot before.
+  Counter* rows_removed =
+      MetricsRegistry::Default().GetCounter("serve.ingest.rows_removed");
+  Counter* downdates = MetricsRegistry::Default().GetCounter(
+      "linalg.cholesky.rank_one_downdates");
+  const uint64_t rows_removed_before = rows_removed->value();
+  const uint64_t downdates_before = downdates->value();
+
+  AlignmentService service;
+  DeltaIngestor ingestor(std::move(s.initial), s.train_anchors,
+                         std::move(s.initial_candidates), &service, options);
+  ASSERT_TRUE(ingestor.Start().ok());
+  for (ServeDelta& batch : s.batches) {
+    ASSERT_TRUE(ingestor.ApplyOnce(std::move(batch)).ok());
+  }
+
+  // The churned stream really removed rows, traced the removal stage and
+  // drove the factor through the rank-one downdate kernel.
+  EXPECT_GT(ingestor.stats().rows_removed, 0u);
+  EXPECT_EQ(rows_removed->value() - rows_removed_before,
+            ingestor.stats().rows_removed);
+  EXPECT_GE(downdates->value() - downdates_before,
+            ingestor.stats().rows_removed);
+  const auto totals = tracer.StageTotals();
+  ExpectStage(totals, "ingest.remove_coalesce");
+  ExpectStage(totals, "ingest.apply_slice");
+  EXPECT_GT(totals.at("ingest.remove_coalesce").count, 0u);
+}
+
 TEST(ObsIntegrationTest, DetachedIngestRegistersNothing) {
   DeltaStream s = CarvedStream(71);
   IngestorOptions options;  // obs defaults to detached

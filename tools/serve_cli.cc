@@ -3,6 +3,7 @@
 //
 //   serve_cli [--scale tiny|bench] [--seed N] [--batches N]
 //             [--initial-frac F] [--np-ratio F] [--train-frac F]
+//             [--churn-frac F]
 //             [--query-threads N] [--queries-per-thread N] [--topk K]
 //             [--threads N] [--shards LIST] [--shard-block N]
 //             [--drain coalesce|per-delta] [--stats_json PATH]
@@ -63,6 +64,7 @@ struct Flags {
   double initial_frac = 0.5;
   double np_ratio = 5.0;
   double train_frac = 0.3;
+  double churn_frac = 0.0;  // > 0 interleaves shrink batches (see carver)
   size_t query_threads = 4;
   size_t queries_per_thread = 2000;
   size_t topk = 0;  // 0 = IngestorOptions::default_top_k
@@ -109,6 +111,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->np_ratio = std::strtod(v, nullptr);
     } else if (arg == "--train-frac" && (v = next())) {
       flags->train_frac = std::strtod(v, nullptr);
+    } else if (arg == "--churn-frac" && (v = next())) {
+      flags->churn_frac = std::strtod(v, nullptr);
     } else if (arg == "--query-threads" && (v = next())) {
       flags->query_threads = std::strtoull(v, nullptr, 10);
     } else if (arg == "--queries-per-thread" && (v = next())) {
@@ -195,6 +199,7 @@ RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool,
   carve.initial_fraction = flags.initial_frac;
   carve.np_ratio = flags.np_ratio;
   carve.train_fraction = flags.train_frac;
+  carve.churn_fraction = flags.churn_frac;
   carve.seed = flags.seed ^ 0x5EEDULL;
   auto stream = CarveDeltaStream(pair.value(), carve);
   if (!stream.ok()) {
@@ -287,7 +292,13 @@ RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool,
 
   Stopwatch ingest_watch;
   ingestor.StartBackground();
-  for (ServeDelta& batch : s.batches) ingestor.Submit(std::move(batch));
+  for (ServeDelta& batch : s.batches) {
+    ingestor.Submit(std::move(batch));
+    // Churned streams flush per batch: a fully-coalesced backlog would
+    // cancel every removal against the trailing re-add batch and the
+    // shrink path would never run.
+    if (flags.churn_frac > 0.0) ingestor.Flush();
+  }
   ingestor.Flush();
   result.ingest_seconds = ingest_watch.ElapsedSeconds();
   ingestor.Stop();
@@ -337,6 +348,7 @@ void PrintRun(const RunResult& r) {
   table.AddRow({"final epoch (all shards)", u64(r.final_epoch)});
   table.AddRow({"candidates served", u64(r.candidates_served)});
   table.AddRow({"rows appended", u64(r.stats.rows_appended)});
+  table.AddRow({"rows removed", u64(r.stats.rows_removed)});
   table.AddRow({"rows replaced", u64(r.stats.rows_replaced)});
   table.AddRow({"rank-1 updates", u64(r.stats.rank_one_updates)});
   table.AddRow({"full factorisations", u64(r.stats.full_factorisations)});
@@ -393,6 +405,7 @@ bool WriteStatsJson(const Flags& flags,
         << StrFormat("%.6f", r.ingest_seconds)
         << ", \"streamed_candidates\": " << r.streamed_candidates
         << ", \"rows_per_sec\": " << StrFormat("%.1f", rows_per_sec)
+        << ", \"rows_removed\": " << r.stats.rows_removed
         << ", \"epochs_published\": " << r.stats.epochs_published
         << ", \"coalesced_batches\": " << r.stats.coalesced_batches
         << ", \"full_factorisations\": " << r.stats.full_factorisations

@@ -7,7 +7,16 @@ FeaturePlane::FeaturePlane(AlignedPair pair,
                            FeatureExtractorOptions options)
     : pair_(std::move(pair)),
       train_anchors_(std::move(train_anchors)),
-      extractor_(pair_, train_anchors_, std::move(options)) {}
+      options_(std::move(options)),
+      extractor_(pair_, train_anchors_, options_) {}
+
+std::unique_ptr<FeaturePlane> FeaturePlane::Clone() const {
+  auto twin =
+      std::make_unique<FeaturePlane>(pair_, train_anchors_, options_);
+  twin->obs_ = obs_;
+  twin->Refresh();  // warm: the first refresh computes every diagram
+  return twin;
+}
 
 Status FeaturePlane::Apply(const PairDelta& delta) {
   TraceSpan span(obs_.tracer, "ingest.plane_apply");

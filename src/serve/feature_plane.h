@@ -23,6 +23,7 @@
 #ifndef ACTIVEITER_SERVE_FEATURE_PLANE_H_
 #define ACTIVEITER_SERVE_FEATURE_PLANE_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,12 @@ class FeaturePlane {
   // The extractor holds a pointer to pair_; the plane must not move.
   FeaturePlane(const FeaturePlane&) = delete;
   FeaturePlane& operator=(const FeaturePlane&) = delete;
+
+  /// Deep copy for the pipelined coordinator's plane ring: same graph
+  /// state and anchor bridge, a fresh (warmed) feature engine. The clone
+  /// runs its first Refresh() before returning, so subsequent refreshes
+  /// are delta-bounded exactly like the original's. Obs sinks carry over.
+  std::unique_ptr<FeaturePlane> Clone() const;
 
   const AlignedPair& pair() const { return pair_; }
   const std::vector<AnchorLink>& train_anchors() const {
@@ -85,6 +92,7 @@ class FeaturePlane {
  private:
   AlignedPair pair_;
   std::vector<AnchorLink> train_anchors_;
+  FeatureExtractorOptions options_;
   DeltaFeatureExtractor extractor_;
   ObsSinks obs_;
 };

@@ -130,6 +130,9 @@ IngestStats& IngestStats::operator+=(const IngestStats& other) {
   rows_removed += other.rows_removed;
   rank_one_updates += other.rank_one_updates;
   full_factorisations += other.full_factorisations;
+  pipeline_stalls += other.pipeline_stalls;
+  max_inflight_planes = std::max(max_inflight_planes,
+                                 other.max_inflight_planes);
   return *this;
 }
 

@@ -145,6 +145,21 @@ struct IngestorOptions {
   /// Default k for query front ends when the caller does not say (e.g.
   /// serve_cli --topk 0).
   size_t default_top_k = 10;
+  /// Extra feature planes the sharded coordinator may have in flight
+  /// beyond the one the shards are absorbing: depth d keeps d+1 plane
+  /// buffers and prepares drain N+1 (graph apply + SpGEMM refresh) WHILE
+  /// the shards absorb drain N. 0 restores the strictly serial
+  /// coordinator (one buffer; prepare waits for every shard). Published
+  /// epochs are bitwise-identical at every depth — only the overlap
+  /// changes. A plain DeltaIngestor is single-threaded past its queue and
+  /// ignores this knob (its stats report max_inflight_planes = 1).
+  size_t pipeline_depth = 1;
+  /// When non-zero, ShardedIngestor::Submit blocks while the background
+  /// queue holds this many undrained batches — backpressure so a fast
+  /// producer cannot outrun the shards unboundedly. Each blocked Submit
+  /// counts one pipeline stall. 0 (default) means unbounded; a plain
+  /// DeltaIngestor ignores it (kCoalesce already collapses its backlog).
+  size_t submit_queue_limit = 0;
   /// Observability sinks. Detached (null) by default: every instrument
   /// site in the ingest/query pipeline reduces to one branch. When
   /// attached, the write side emits a span per ingest stage
@@ -165,8 +180,14 @@ struct IngestStats {
   uint64_t rows_removed = 0;          // candidate rows downdated out
   uint64_t rank_one_updates = 0;      // factor updates + downdates
   uint64_t full_factorisations = 0;   // stays 1 after Start()
+  // Pipeline accounting (coordinator-level; ModelShard leaves them 0).
+  uint64_t pipeline_stalls = 0;       // backpressure waits (buffer/queue)
+  uint64_t max_inflight_planes = 0;   // high-water drains in flight; a
+                                      // value ≥ 2 proves prepare/absorb
+                                      // overlapped. Serial mode reports 1.
 
-  /// Element-wise sum (aggregating shard stats).
+  /// Element-wise sum (aggregating shard stats); `max_inflight_planes`
+  /// takes the max, not the sum.
   IngestStats& operator+=(const IngestStats& other);
 };
 
@@ -283,7 +304,14 @@ class DeltaIngestor {
   /// submitted after an error are discarded).
   Status background_status() const;
 
-  IngestStats stats() const { return shard_.stats(); }
+  IngestStats stats() const {
+    IngestStats s = shard_.stats();
+    // The single-writer pipeline is strictly serial by design: one plane,
+    // no backpressure, never more than one drain in flight.
+    s.pipeline_stalls = 0;
+    s.max_inflight_planes = 1;
+    return s;
+  }
 
   const IngestorOptions& options() const { return options_; }
 

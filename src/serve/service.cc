@@ -43,15 +43,12 @@ Result<std::vector<ScoredLink>> AlignmentService::TopKFor(NodeId u1,
   }
   std::vector<ScoredLink> out;
   if (u1 >= snap->users_first()) return out;  // unknown as of this epoch
-  for (size_t link_id : snap->links_of_first[u1]) {
-    out.push_back(snap->At(link_id));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const ScoredLink& a, const ScoredLink& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.link_id < b.link_id;
-            });
-  if (out.size() > k) out.resize(k);
+  // links_of_first is pre-ranked (score desc, id asc) at BuildSnapshot
+  // time, so the top k are literally the first k entries.
+  const std::vector<size_t>& ranked = snap->links_of_first[u1];
+  const size_t take = std::min(k, ranked.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(snap->At(ranked[i]));
   return out;
 }
 

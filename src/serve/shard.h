@@ -1,26 +1,40 @@
-// ShardedIngestor: the write side of the sharded serve layer.
+// ShardedIngestor: the write side of the sharded serve layer, run as a
+// two-stage software pipeline.
 //
 //                       ┌──────────────── ShardedIngestor ────────────────┐
-//   ServeDelta ──▶ queue ─▶ coordinator ─▶ FeaturePlane (graph + features,│
-//     (Submit)            (coalesce +        refreshed ONCE per drain)    │
-//                          route by          │ shared, read-only fan-out  │
-//                          u1 range,    ┌────┴────┬─────────┐             │
-//                          assign       ▼         ▼         ▼             │
-//                          global    shard 0   shard 1    ...             │
-//                          link ids) ModelShard ModelShard (parallel      │
-//                                       │         │         realigns)     │
-//                                       ▼         ▼                       │
-//                                    AlignmentService per shard ──────────┼─▶ ShardRouter
-//                       └─────────────────────────────────────────────────┘   (QueryBackend)
+//   ServeDelta ──▶ queue ─▶ coordinator ─▶ plane ring (graph + features:  │
+//     (Submit)            (coalesce +      buffer N+1 PREPARES while      │
+//                          route by        buffer N is absorbed)          │
+//                          u1 range,        │ read-only hand-off          │
+//                          assign      ┌────┴────┬─────────┐              │
+//                          global      ▼         ▼         ▼              │
+//                          link    executor 0 executor 1  ...             │
+//                          ids)    ModelShard ModelShard (persistent      │
+//                                      │         │         threads)       │
+//                                      ▼         ▼   per-shard publish    │
+//                                   AlignmentService per shard ───────────┼─▶ ShardRouter
+//                       └──────────────────────────────────────────────── ┘  (QueryBackend)
 //
-// The split that makes this scale: whole-graph work (delta application,
-// dirty-diagram recomputation, proximity tables) lives in ONE shared
-// FeaturePlane and runs once per drain, while per-candidate work (row
-// gathers, Gram rank-1 updates, the PU realign, snapshot builds) is
-// partitioned across N ModelShards that consume the refreshed plane
-// concurrently — each owns a disjoint user-range slice of H with its own
-// RidgePrepared, AlignmentSession and snapshot chain, and shards share
-// nothing mutable.
+// Stage 1 (coordinator): validate → graph apply → SpGEMM refresh → route.
+// Stage 2 (shard executors): downdate/replace/append rows → PU realign →
+// snapshot publish, one persistent thread per shard (mailbox + condition
+// variable, started once at StartBackground, joined at Stop — steady-state
+// drains spawn zero threads).
+//
+// The pipeline: the plane is a ring of pipeline_depth + 1 buffers. Drain
+// N's slices absorb against buffer N mod (d+1) while the coordinator
+// catches buffer (N+1) mod (d+1) up (replaying the drains it missed from a
+// short graph-delta history) and prepares drain N+1 on it. Acquiring a
+// still-busy buffer blocks the coordinator — that wait is the backpressure
+// (counted in IngestStats::pipeline_stalls), and with depth 0 (one buffer)
+// it degenerates to the strictly serial coordinator. Shards publish their
+// epochs independently as each slice completes — there is no whole-drain
+// barrier; the router's epoch() = slowest shard already tolerates the
+// skew, and each shard still sees every drain in submission order, so
+// published epochs are bitwise-identical to the serial schedule at every
+// depth. (Replaying a drain onto a buffer may mark a SUPERSET of the
+// serial dirty columns; that is harmless because the replace pass
+// value-compares each row against the design matrix before absorbing.)
 //
 // Model semantics: each shard trains the PU alternation on its own slice.
 // With one shard this is bit-for-bit the unsharded DeltaIngestor (same
@@ -37,9 +51,11 @@
 //
 // Failure model: a batch that fails validation (bad graph delta, bad
 // candidate endpoint) is rejected before anything mutates. A model-side
-// failure inside a shard (numerical breakdown in a session op) makes the
-// background status sticky — the write side stops, the read side keeps
-// serving every shard's last published epoch.
+// failure inside a shard makes the background status sticky — up to
+// pipeline_depth later drains may already sit in executor mailboxes when
+// it surfaces; their absorbs are skipped (the read side keeps serving
+// every shard's last published epoch) and everything submitted after is
+// discarded at drain time.
 
 #ifndef ACTIVEITER_SERVE_SHARD_H_
 #define ACTIVEITER_SERVE_SHARD_H_
@@ -49,6 +65,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -69,16 +86,16 @@ std::vector<ServeDelta> RouteServeDelta(const ServeDelta& delta,
                                         const ShardPartition& partition,
                                         size_t first_global_id);
 
-/// One FeaturePlane + N ModelShards over disjoint candidate slices plus
-/// the ShardRouter serving them. Mirrors the DeltaIngestor lifecycle
+/// A plane ring + N ModelShards over disjoint candidate slices plus the
+/// ShardRouter serving them. Mirrors the DeltaIngestor lifecycle
 /// (Start → ApplyOnce | StartBackground/Submit/Flush/Stop); queries go
 /// through backend().
 class ShardedIngestor {
  public:
   /// Takes ownership of the initial state and splits it across
   /// `options.partition.num_shards` shards. The pair and the labeled
-  /// bridge L+ live once, in the shared plane; candidate ownership
-  /// follows the partition.
+  /// bridge L+ live once per plane buffer (pipeline_depth + 1 of them);
+  /// candidate ownership follows the partition.
   ShardedIngestor(AlignedPair pair, std::vector<AnchorLink> train_anchors,
                   CandidateLinkSet candidates, IngestorOptions options = {});
 
@@ -87,28 +104,32 @@ class ShardedIngestor {
   ShardedIngestor(const ShardedIngestor&) = delete;
   ShardedIngestor& operator=(const ShardedIngestor&) = delete;
 
-  /// Starts every shard against the shared plane (one full feature
-  /// refresh total; one Gram factorisation per shard) and publishes
-  /// epoch 0 on all of them.
+  /// Starts every shard against the primary plane (one full feature
+  /// refresh total; one Gram factorisation per shard), publishes epoch 0
+  /// on all of them, and clones the extra pipeline plane buffers.
   Status Start();
 
   /// Routes one batch and applies it synchronously, shard after shard.
-  /// Deterministic; shard epochs stay in lock-step.
+  /// Deterministic; shard epochs stay in lock-step and every plane buffer
+  /// advances together.
   Status ApplyOnce(const ServeDelta& delta);
 
   /// Background ingest: one coordinator thread that drains the queue
-  /// (coalescing per the drain policy), advances the plane once, then
-  /// applies all shard slices in parallel.
+  /// (coalescing per the drain policy) and prepares plane buffers, plus
+  /// one persistent executor thread per shard absorbing the slices.
   void StartBackground();
 
   /// Enqueues a batch. The batch must not carry global link ids — this
-  /// layer assigns them, in submission order, at drain time.
+  /// layer assigns them, in submission order, at drain time. Blocks when
+  /// options().submit_queue_limit batches are already queued
+  /// (backpressure; counted as a pipeline stall).
   void Submit(ServeDelta delta);
 
   /// Blocks until every submitted batch has been applied and published.
   void Flush();
 
-  /// Drains the queue and joins the coordinator (idempotent).
+  /// Drains the queue and the executor mailboxes, joins the coordinator
+  /// and every executor, and catches the primary plane up (idempotent).
   void Stop();
 
   /// First error reported by the coordinator (sticky; batches submitted
@@ -128,8 +149,10 @@ class ShardedIngestor {
   /// deltas_applied, coalesced_batches) advance in lock-step on every
   /// shard and are reported once; per-row counters (rows_appended,
   /// rows_removed, rows_replaced, rank_one_updates, full_factorisations)
-  /// are summed
-  /// across shards — full_factorisations equals num_shards after Start().
+  /// are summed across shards — full_factorisations equals num_shards
+  /// after Start(). pipeline_stalls / max_inflight_planes are
+  /// coordinator-level: max_inflight_planes ≥ 2 proves prepare/absorb
+  /// actually overlapped; serial operation reports 0 / 1.
   IngestStats stats() const;
   IngestStats shard_stats(size_t shard) const;
 
@@ -140,28 +163,82 @@ class ShardedIngestor {
   const AlignmentService& shard_service(size_t shard) const;
 
  private:
+  class ShardExecutor;
+
+  /// One routed slice travelling from the coordinator to a shard
+  /// executor. The plane buffer it points at stays immutable until every
+  /// shard of its drain completed (the ring acquisition guarantees it).
+  struct SliceTask {
+    const FeaturePlane* plane = nullptr;
+    std::shared_ptr<const std::vector<size_t>> dirty_columns;
+    ServeDelta slice;
+    size_t submitted_batches = 0;
+    uint64_t seq = 0;
+  };
+
+  /// Completion bookkeeping of one dispatched drain.
+  struct DrainTicket {
+    uint64_t seq = 0;
+    size_t buffer = 0;
+    size_t remaining = 0;   // shards still absorbing
+    size_t submitted = 0;   // Submit() calls this drain coalesces
+  };
+
   void WorkerLoop();
-  /// Validate → plane Apply/Refresh → route → shard fan-out (sequential
-  /// in deterministic mode, one thread per shard under the coordinator).
-  Status ApplyMerged(const ServeDelta& merged, size_t submitted_batches,
-                     bool parallel_shards);
+  /// Deterministic path: validate → advance EVERY plane buffer → refresh
+  /// the primary → route → shard applies, sequential on this thread.
+  Status ApplyMerged(const ServeDelta& merged, size_t submitted_batches);
+  /// Pipelined path: acquire the drain's ring buffer (blocking while it
+  /// is still being absorbed), replay missed drains onto it, prepare the
+  /// new drain and hand the slices to the executors. Returns without
+  /// waiting for the absorbs.
+  Status PrepareDrain(const ServeDelta& merged, size_t submitted_batches);
+  /// Replays graph deltas the buffer missed while other buffers ran.
+  void CatchUpBuffer(size_t buffer);
+  void TrimHistory();
+  /// Executor callback: a shard finished (or skipped) drain `seq`.
+  void OnSliceDone(uint64_t seq, const Status& status);
 
   IngestorOptions options_;
-  FeaturePlane plane_;
+  FeaturePlane plane_;  // ring_[0]; the buffer tests/readers introspect
   /// Submitted-but-unpublished batches; null when metrics are detached.
   Gauge* epoch_lag_ = nullptr;
+  Gauge* pipeline_inflight_ = nullptr;   // "ingest.pipeline.depth"
+  Counter* pipeline_stall_counter_ = nullptr;
   std::vector<std::unique_ptr<AlignmentService>> services_;
   std::vector<std::unique_ptr<ModelShard>> shards_;
   std::unique_ptr<ShardRouter> router_;
   size_t next_global_id_ = 0;
 
+  // The plane ring (built at Start): pipeline_depth extra clones of the
+  // primary plane, used round-robin by drain sequence number.
+  std::vector<std::unique_ptr<FeaturePlane>> clone_planes_;
+  std::vector<FeaturePlane*> ring_;
+  std::vector<uint64_t> ring_applied_;   // last drain seq each buffer holds
+  std::vector<bool> ring_busy_;          // being absorbed (guarded by mu_)
+  // Committed drains a stale buffer may still need to replay; trimmed to
+  // min(ring_applied_), so it never holds more than ring_.size() entries
+  // in background operation.
+  std::deque<std::pair<uint64_t, PairDelta>> graph_history_;
+  uint64_t drain_seq_ = 0;               // committed drains
+
+  // Persistent per-shard absorb threads (live between StartBackground
+  // and Stop).
+  std::vector<std::unique_ptr<ShardExecutor>> executors_;
+  std::deque<DrainTicket> tickets_;      // guarded by mu_
+
   // Coordinator queue (same discipline as DeltaIngestor's).
   std::thread worker_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;        // queue not empty / stopping
-  std::condition_variable idle_cv_;   // queue drained
+  std::condition_variable cv_;           // queue not empty / stopping
+  std::condition_variable idle_cv_;      // queue drained + drains landed
+  std::condition_variable plane_free_cv_;   // a ring buffer was released
+  std::condition_variable queue_space_cv_;  // Submit backpressure
   std::deque<ServeDelta> queue_;
-  size_t in_flight_ = 0;
+  size_t in_flight_ = 0;                 // batches drained, not published
+  size_t inflight_drains_ = 0;           // drains between dispatch/publish
+  uint64_t max_inflight_ = 0;            // high-water of inflight_drains_
+  uint64_t stall_count_ = 0;             // backpressure waits
   bool stopping_ = false;
   bool thread_running_ = false;
   Status background_status_ = Status::OK();

@@ -1,5 +1,7 @@
 #include "src/serve/snapshot.h"
 
+#include <algorithm>
+
 namespace activeiter {
 
 ScoredLink ModelSnapshot::At(size_t link_id) const {
@@ -33,6 +35,18 @@ ModelSnapshot BuildSnapshot(uint64_t epoch, const IncidenceIndex& index,
   snap.links_of_first.reserve(index.users_first());
   for (NodeId u = 0; u < index.users_first(); ++u) {
     snap.links_of_first.push_back(index.LinksOfFirst(u));
+    // Rank once at publish time; every TopKFor is then a prefix copy.
+    // Local ids are appended in global-id order (routing stamps ids
+    // sequentially and compaction preserves relative order), so the
+    // local-id tiebreak below IS the global-id tiebreak the router's
+    // k-way merge expects.
+    std::vector<size_t>& ranked = snap.links_of_first.back();
+    std::sort(ranked.begin(), ranked.end(), [&snap](size_t a, size_t b) {
+      if (snap.scores(a) != snap.scores(b)) {
+        return snap.scores(a) > snap.scores(b);
+      }
+      return a < b;
+    });
   }
   snap.links_of_second.reserve(index.users_second());
   for (NodeId u = 0; u < index.users_second(); ++u) {

@@ -38,7 +38,10 @@ struct ModelSnapshot {
   Vector w;                                      // model weights
   // Local id → global link id; empty means identity (unsharded).
   std::vector<size_t> global_ids;
-  // Per-user candidate link ids (copied from the incidence index).
+  // Per-user candidate link ids. `links_of_first` is pre-ranked in
+  // serving order — (score desc, link id asc) — at build time, so TopK
+  // is an O(k) prefix copy and never sorts on the query path.
+  // `links_of_second` keeps the incidence order of the index.
   std::vector<std::vector<size_t>> links_of_first;
   std::vector<std::vector<size_t>> links_of_second;
 

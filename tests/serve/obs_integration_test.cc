@@ -117,6 +117,12 @@ TEST(ObsIntegrationTest, ShardedIngestorEmitsCoordinatorStagesAndRouterLatency) 
   const Gauge* lag = registry.FindGauge("serve.ingest.epoch_lag");
   ASSERT_NE(lag, nullptr);
   EXPECT_EQ(lag->value(), 0);
+  // Once Flush returns no drain is in flight, so the pipeline-depth
+  // gauge has settled back to 0 too (CI asserts the same via serve_cli).
+  const Gauge* depth = registry.FindGauge("ingest.pipeline.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value(), 0);
+  ASSERT_NE(registry.FindCounter("ingest.pipeline.stalls"), nullptr);
 
   sharded.Stop();
   ASSERT_TRUE(sharded.background_status().ok());
@@ -131,6 +137,9 @@ TEST(ObsIntegrationTest, ShardedIngestorEmitsCoordinatorStagesAndRouterLatency) 
   ExpectStage(totals, "ingest.apply_slice");
   ExpectStage(totals, "ingest.realign");
   ExpectStage(totals, "ingest.snapshot_publish");
+  // Every background drain runs through the pipelined prepare stage.
+  ExpectStage(totals, "ingest.pipeline.prepare");
+  EXPECT_GE(totals.at("ingest.pipeline.prepare").count, 1u);
   // Both shards realign on every drain (start + 1 coalesced drain here).
   EXPECT_GE(totals.at("ingest.apply_slice").count, 2u);
 

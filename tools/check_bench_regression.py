@@ -8,9 +8,9 @@ merges on, so regressions surface as ::warning:: annotations plus the
 table, never as a red job.
 
 Direction is inferred from the metric name: *_ms / *_seconds / *_us /
-*latency* / *overhead* are better-lower, *speedup* / *rows_per_sec* /
-*qps* are better-higher, anything else (counts, per-stage event tallies)
-is reported without judgement. The tolerance is deliberately generous
+*latency* / *overhead* / *stall* are better-lower, *speedup* /
+*rows_per_sec* / *qps* are better-higher, anything else (counts,
+per-stage event tallies) is reported without judgement. The tolerance is deliberately generous
 (default 50%) — shared runners routinely swing that much.
 
 Schema drift is expected as the records grow fields (e.g. the per-stage
@@ -32,7 +32,7 @@ import sys
 
 TOLERANCE = 0.50  # fractional change before a metric is flagged
 
-LOWER_BETTER = ("_ms", "_seconds", "_us", "latency", "overhead")
+LOWER_BETTER = ("_ms", "_seconds", "_us", "latency", "overhead", "stall")
 HIGHER_BETTER = ("speedup", "rows_per_sec", "qps")
 
 

@@ -6,7 +6,8 @@
 //             [--churn-frac F]
 //             [--query-threads N] [--queries-per-thread N] [--topk K]
 //             [--threads N] [--shards LIST] [--shard-block N]
-//             [--drain coalesce|per-delta] [--stats_json PATH]
+//             [--drain coalesce|per-delta] [--pipeline-depth N]
+//             [--submit-limit N] [--stats_json PATH]
 //             [--metrics_json PATH] [--trace_out PATH]
 //
 // For each shard count in `--shards` (comma-separated, e.g. "1,2,4") the
@@ -72,6 +73,8 @@ struct Flags {
   std::vector<size_t> shards = {1};
   size_t shard_block = 1;
   std::string drain = "coalesce";
+  size_t pipeline_depth = 1;  // 0 = serial coordinator
+  size_t submit_limit = 0;    // 0 = unbounded queue (no backpressure)
   std::string stats_json;
   std::string metrics_json;
   std::string trace_out;
@@ -130,6 +133,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shard_block = std::strtoull(v, nullptr, 10);
     } else if (arg == "--drain" && (v = next())) {
       flags->drain = v;
+    } else if (arg == "--pipeline-depth" && (v = next())) {
+      flags->pipeline_depth = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--submit-limit" && (v = next())) {
+      flags->submit_limit = std::strtoull(v, nullptr, 10);
     } else if (arg == "--stats_json" && (v = next())) {
       flags->stats_json = v;
     } else if (arg == "--metrics_json" && (v = next())) {
@@ -234,6 +241,8 @@ RunResult RunOnce(const Flags& flags, size_t shard_count, ThreadPool* pool,
                                              : DrainPolicy::kCoalesce;
   options.partition.num_shards = shard_count;
   options.partition.block_size = flags.shard_block;
+  options.pipeline_depth = flags.pipeline_depth;
+  options.submit_queue_limit = flags.submit_limit;
   options.obs = obs;
 
   ShardedIngestor ingestor(std::move(s.initial), s.train_anchors,
@@ -354,6 +363,8 @@ void PrintRun(const RunResult& r) {
   table.AddRow({"full factorisations", u64(r.stats.full_factorisations)});
   table.AddRow({"epochs published", u64(r.stats.epochs_published)});
   table.AddRow({"coalesced batches", u64(r.stats.coalesced_batches)});
+  table.AddRow({"pipeline stalls", u64(r.stats.pipeline_stalls)});
+  table.AddRow({"max in-flight planes", u64(r.stats.max_inflight_planes)});
   table.AddRow({"ingest wall-clock", StrFormat("%.3f s", r.ingest_seconds)});
   table.AddRow(
       {"ingest rows/s",
@@ -392,6 +403,7 @@ bool WriteStatsJson(const Flags& flags,
       << "  \"seed\": " << flags.seed << ",\n"
       << "  \"batches\": " << flags.batches << ",\n"
       << "  \"drain\": \"" << flags.drain << "\",\n"
+      << "  \"pipeline_depth\": " << flags.pipeline_depth << ",\n"
       << "  \"query_threads\": " << flags.query_threads << ",\n"
       << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
@@ -409,6 +421,8 @@ bool WriteStatsJson(const Flags& flags,
         << ", \"epochs_published\": " << r.stats.epochs_published
         << ", \"coalesced_batches\": " << r.stats.coalesced_batches
         << ", \"full_factorisations\": " << r.stats.full_factorisations
+        << ", \"pipeline_stalls\": " << r.stats.pipeline_stalls
+        << ", \"max_inflight_planes\": " << r.stats.max_inflight_planes
         << ", \"queries\": " << r.queries
         << ", \"query_p50_us\": " << StrFormat("%.1f", r.p50_us)
         << ", \"query_p99_us\": " << StrFormat("%.1f", r.p99_us)
